@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every bench regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md) and writes its rows both to stdout
+and to ``benchmarks/results/<name>.txt`` so the output survives pytest
+capture.  Absolute numbers are laptop-scale; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class ResultTable:
+    """Collects printed rows and persists them per experiment."""
+
+    def __init__(self, name: str, title: str):
+        self.name = name
+        self.lines: list[str] = [title, "=" * len(title)]
+        print(f"\n{title}", flush=True)
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+        print(text, flush=True)
+
+    def save(self) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{self.name}.txt"
+        out.write_text("\n".join(self.lines) + "\n")
+        return out

@@ -1,0 +1,87 @@
+"""E7/E8 — Figs. 9-10 + Table 3 (sphere): strong & weak MATVEC scaling.
+
+A sphere of diameter 1 carved from a 10³ cube with 5 levels of octree
+adaptivity near the surface (§4.5.2) — the domain of the Navier–Stokes
+validation.  Same methodology as the channel bench.  Paper: strong 90%
+(linear) / 96% (quadratic) over 32×; weak 74% / 83%.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Domain, build_mesh
+from repro.geometry import SphereCarve
+from repro.parallel import FRONTERA, analyze_partition, model_matvec, partition_mesh, rank_statistics
+
+from bench_scaling_channel import _report_strong, scaling_run
+from _util import ResultTable
+
+
+def sphere_domain():
+    return Domain(SphereCarve([5.0, 5.0, 5.0], 0.5), scale=10.0)
+
+
+def test_sphere_strong_scaling(benchmark):
+    dom = sphere_domain()
+    meshes = benchmark.pedantic(
+        lambda: {p: build_mesh(dom, 4, 8, p=p) for p in (1, 2)},
+        rounds=1, iterations=1,
+    )
+    t = ResultTable(
+        "fig9_sphere_strong",
+        "Fig 9 + Table 3: sphere strong scaling (parallel cost)",
+    )
+    ranks = (1, 2, 4, 8, 16, 32)
+    effs = {}
+    for p, mesh in meshes.items():
+        t.row(f"mesh: {mesh.n_elem} elements, {mesh.n_nodes} DOFs (p={p}), "
+              f"levels {mesh.leaves.levels.min()}..{mesh.leaves.levels.max()}")
+        rows = scaling_run(mesh, ranks, verify_ranks=(4,))
+        effs[p] = _report_strong(t, rows, f"p={p}")
+    t.row("paper: 90% (linear) / 96% (quadratic) efficiency over 32x")
+    t.save()
+    assert effs[1][-1] > 0.6
+    assert effs[2][-1] > effs[1][-1] - 0.05
+    assert meshes[1].leaves.levels.max() - meshes[1].leaves.levels.min() >= 4, \
+        "the sphere case must have ~5 levels of adaptivity"
+
+
+def test_sphere_weak_scaling(benchmark):
+    dom = sphere_domain()
+    grain = 1500  # paper: 10K elements/core, scaled down
+    levels = [(3, 6), (4, 7), (4, 8)]
+
+    def build_all():
+        return [
+            {p: build_mesh(dom, b, bl, p=p) for p in (1, 2)} for b, bl in levels
+        ]
+
+    series = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    t = ResultTable(
+        "fig10_sphere_weak",
+        "Fig 10 + Table 3: sphere weak scaling (fixed grain per rank)",
+    )
+    effs = {}
+    for p in (1, 2):
+        t.row(f"-- p={p}")
+        t.row(f"{'ranks':>6} {'elements':>9} {'DOFs':>9} {'t_matvec':>10} {'eff':>6}")
+        t0 = None
+        eff = []
+        for meshes in series:
+            mesh = meshes[p]
+            nranks = max(1, round(mesh.n_elem / grain))
+            splits = partition_mesh(mesh, nranks, load_tol=0.1)
+            layout = analyze_partition(mesh, splits)
+            stats = rank_statistics(mesh, layout)
+            ph = model_matvec(stats, p=p, dim=3, machine=FRONTERA)
+            tt = ph.time
+            t0 = t0 or tt
+            eff.append(t0 / tt)
+            t.row(f"{nranks:>6} {mesh.n_elem:>9} {mesh.n_nodes:>9} "
+                  f"{tt * 1e3:>8.2f}ms {eff[-1]:>6.2f}")
+        effs[p] = eff
+    t.row("paper: weak efficiency 74% (linear) / 83% (quadratic) at 512x; "
+          "quadratic better because eta ~ 1/(p+1)")
+    t.save()
+    assert effs[1][-1] > 0.45 and effs[2][-1] > 0.45
+    assert effs[2][-1] >= effs[1][-1] - 0.08

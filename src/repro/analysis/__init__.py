@@ -1,0 +1,24 @@
+"""Evaluation analysis: convergence rates, drag references, roofline."""
+
+from .convergence import fit_rate, observed_rates
+from .drag import (
+    ACHENBACH_ANCHORS,
+    CYLINDER_CD_REFERENCE,
+    drag_from_faces,
+    morrison_cd,
+    schiller_naumann_cd,
+)
+from .roofline import RooflinePoint, analyze_kernel, roofline_ceilings
+
+__all__ = [
+    "observed_rates",
+    "fit_rate",
+    "morrison_cd",
+    "schiller_naumann_cd",
+    "ACHENBACH_ANCHORS",
+    "CYLINDER_CD_REFERENCE",
+    "drag_from_faces",
+    "RooflinePoint",
+    "analyze_kernel",
+    "roofline_ceilings",
+]

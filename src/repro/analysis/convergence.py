@@ -1,0 +1,25 @@
+"""Convergence-rate utilities for the §4.1/§4.3 studies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["observed_rates", "fit_rate"]
+
+
+def observed_rates(h: np.ndarray, err: np.ndarray) -> np.ndarray:
+    """Pairwise observed order: log(e_i/e_{i+1}) / log(h_i/h_{i+1})."""
+    h = np.asarray(h, float)
+    err = np.asarray(err, float)
+    if len(h) != len(err) or len(h) < 2:
+        raise ValueError("need matching arrays of length >= 2")
+    return np.log(err[:-1] / err[1:]) / np.log(h[:-1] / h[1:])
+
+
+def fit_rate(h: np.ndarray, err: np.ndarray) -> float:
+    """Least-squares slope of log(err) vs log(h)."""
+    h = np.asarray(h, float)
+    err = np.asarray(err, float)
+    A = np.vstack([np.log(h), np.ones_like(h)]).T
+    slope, _ = np.linalg.lstsq(A, np.log(err), rcond=None)[0]
+    return float(slope)

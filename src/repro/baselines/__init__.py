@@ -1,0 +1,23 @@
+"""Comparator implementations: immersed meshing and the complete-octree
+(Dendro-style) pipeline."""
+
+from .complete_octree import CompleteTreeReport, dendro_style_pipeline
+from .two_tier import TwoTierError, TwoTierMesh, boxes_for_predicate
+from .immersed import (
+    CarvedVsImmersed,
+    ImmersedPredicate,
+    build_immersed_mesh,
+    compare_carved_immersed,
+)
+
+__all__ = [
+    "ImmersedPredicate",
+    "build_immersed_mesh",
+    "CarvedVsImmersed",
+    "compare_carved_immersed",
+    "CompleteTreeReport",
+    "dendro_style_pipeline",
+    "TwoTierMesh",
+    "TwoTierError",
+    "boxes_for_predicate",
+]

@@ -1,0 +1,36 @@
+"""Core incomplete-octree algorithms (the paper's primary contribution)."""
+
+from .balance import balance_2to1, is_balanced
+from .construct import construct_adaptive, construct_constrained, construct_uniform
+from .distributed import dist_tree_sort, distributed_construct_constrained
+from .domain import Domain
+from .faces import extract_boundary_faces
+from .mesh import IncompleteMesh, build_mesh, build_uniform_mesh
+from .nodes import MeshNodes, build_nodes
+from .octant import OctantSet, max_level
+from .sfc import HilbertOrder, MortonOrder, get_curve
+from .treesort import linearize, tree_sort
+
+__all__ = [
+    "OctantSet",
+    "max_level",
+    "MortonOrder",
+    "HilbertOrder",
+    "get_curve",
+    "tree_sort",
+    "linearize",
+    "construct_uniform",
+    "construct_constrained",
+    "construct_adaptive",
+    "balance_2to1",
+    "is_balanced",
+    "Domain",
+    "build_nodes",
+    "MeshNodes",
+    "IncompleteMesh",
+    "build_mesh",
+    "build_uniform_mesh",
+    "extract_boundary_faces",
+    "dist_tree_sort",
+    "distributed_construct_constrained",
+]

@@ -1,0 +1,121 @@
+"""2:1 balancing of incomplete octrees (Algorithms 4 and 5).
+
+Bottom-up local block balancing in the style of Sundar et al.: seed
+octants are processed finest level first; for every seed the neighbours
+of its *parent* are added as next-coarser seeds.  Crucially (per §3.3)
+carved-region octants generated this way are **not** discarded — two
+leaves of ≥4:1 size ratio could otherwise meet across a carved region.
+The final constrained construction (Algorithm 2) then rebuilds a linear
+octree that is no coarser than any seed, which enforces the 2:1
+constraint over all shared boundaries (faces, edges and corners).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .domain import Domain
+from .construct import construct_constrained
+from .octant import OctantSet, neighbors, parent
+from .sfc import SFCOracle, get_curve
+from .treesort import block_ends, remove_duplicates, tree_sort
+
+__all__ = [
+    "bottom_up_constrain_neighbors",
+    "balance_2to1",
+    "find_balance_violations",
+    "is_balanced",
+]
+
+
+def bottom_up_constrain_neighbors(seeds: OctantSet) -> OctantSet:
+    """Algorithm 5: propagate balance constraints coarse-ward.
+
+    Returns the union of the input seeds and all generated auxiliary
+    seeds (duplicates removed).  No subdomain predicate is applied.
+    """
+    dim = seeds.dim
+    if len(seeds) == 0:
+        return seeds
+    levels = seeds.levels.astype(np.int64)
+    by_level: dict[int, list[OctantSet]] = {}
+    for lv in np.unique(levels):
+        by_level[int(lv)] = [seeds[np.flatnonzero(levels == lv)]]
+    finest = int(levels.max())
+    for lv in range(finest, 0, -1):
+        if lv not in by_level:
+            continue
+        tier = remove_duplicates(OctantSet.concatenate(by_level[lv]))
+        by_level[lv] = [tier]
+        nbrs = neighbors(parent(tier))  # level lv-1, clipped to the domain
+        if len(nbrs):
+            by_level.setdefault(lv - 1, []).append(nbrs)
+    parts = [remove_duplicates(OctantSet.concatenate(v)) for v in by_level.values()]
+    return remove_duplicates(OctantSet.concatenate(parts))
+
+
+def balance_2to1(
+    domain: Domain, seeds: OctantSet, curve: "str | SFCOracle" = "morton"
+) -> OctantSet:
+    """Algorithm 4: 2:1-balanced linear octree covering the subdomain.
+
+    ``seeds`` is typically the unbalanced leaf set from construction.
+    """
+    aux = bottom_up_constrain_neighbors(seeds)
+    return construct_constrained(domain, aux, curve)
+
+
+def find_balance_violations(
+    leaves: OctantSet, curve: "str | SFCOracle" = "morton"
+) -> np.ndarray:
+    """Indices of leaves with a neighbour coarser by 2+ levels.
+
+    ``leaves`` must be an SFC-sorted linear octree (as produced by the
+    construction routines).  For every leaf we form its same-level
+    neighbour regions and look up the leaf containing each region's
+    anchor; if that containing leaf is coarser by more than one level,
+    the pair violates 2:1 balance.
+    """
+    oracle = get_curve(curve)
+    dim = leaves.dim
+    n = len(leaves)
+    if n == 0:
+        return np.zeros(0, np.int64)
+    keys = oracle.keys(leaves)
+    ends = block_ends(keys, leaves.levels, dim)
+    nbrs = neighbors(leaves)
+    # neighbors() drops out-of-domain candidates; rebuild source indices
+    counts = _neighbor_counts(leaves)
+    src = np.repeat(np.arange(n), counts)
+    nkeys = oracle.keys(nbrs)
+    pos = np.searchsorted(keys, nkeys, side="right") - 1
+    valid = pos >= 0
+    pos_c = np.clip(pos, 0, n - 1)
+    containing = valid & (nkeys >= keys[pos_c]) & (nkeys < ends[pos_c])
+    too_coarse = containing & (
+        leaves.levels[pos_c].astype(np.int64)
+        < nbrs.levels.astype(np.int64) - 1
+    )
+    return np.unique(src[too_coarse])
+
+
+def is_balanced(leaves: OctantSet, curve: "str | SFCOracle" = "morton") -> bool:
+    """True if the linear octree satisfies the 2:1 constraint."""
+    return len(find_balance_violations(leaves, curve)) == 0
+
+
+def _neighbor_counts(oset: OctantSet) -> np.ndarray:
+    """How many in-domain same-level neighbours each octant has."""
+    from .octant import _neighbor_offsets, max_level
+
+    dim = oset.dim
+    m = max_level(dim)
+    offs = _neighbor_offsets(dim)
+    sizes = oset.sizes.astype(np.int64)
+    cand = (
+        oset.anchors.astype(np.int64)[:, None, :]
+        + offs[None, :, :] * sizes[:, None, None]
+    )
+    extent = np.int64(1) << m
+    ok = np.all((cand >= 0) & (cand < extent), axis=2)
+    return ok.sum(axis=1)

@@ -1,0 +1,163 @@
+"""Distributed octree construction (Algorithm 3) on the simulated MPI.
+
+DistTreeSort partitions SFC-sorted octants across virtual ranks with a
+load tolerance; DistributedConstructConstrained lets every rank build a
+tree satisfying its local seed constraints, re-sorts, and resolves
+overlaps across rank boundaries preferring finer octants — so depth
+constraints hold globally.  All inter-rank traffic flows through
+:class:`~repro.parallel.simmpi.SimComm` and is therefore measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.partition import partition_weights
+from ..parallel.simmpi import SimComm
+from .construct import construct_constrained
+from .domain import Domain
+from .octant import OctantSet
+from .sfc import get_curve
+from .treesort import block_ends, linearize, remove_duplicates, tree_sort
+
+__all__ = [
+    "dist_tree_sort",
+    "distributed_construct_constrained",
+    "distributed_balance_2to1",
+    "gather_global",
+]
+
+
+def _pack(oset: OctantSet) -> np.ndarray:
+    """Serialise an OctantSet into a (N, dim+1) int64 buffer."""
+    return np.concatenate(
+        [oset.anchors.astype(np.int64), oset.levels.astype(np.int64)[:, None]],
+        axis=1,
+    )
+
+
+def _unpack(buf: np.ndarray | None, dim: int) -> OctantSet:
+    if buf is None or len(buf) == 0:
+        return OctantSet.empty(dim)
+    return OctantSet(
+        buf[:, :dim].astype(np.uint32), buf[:, dim].astype(np.uint8), dim
+    )
+
+
+def dist_tree_sort(
+    parts: list[OctantSet],
+    comm: SimComm,
+    load_tol: float = 0.1,
+    curve: str = "morton",
+) -> list[OctantSet]:
+    """Globally sort and repartition distributed octants (DistTreeSort).
+
+    ``parts[r]`` is rank r's local octants; the result is SFC-sorted
+    with rank ranges split at (tolerance-adjusted) weight boundaries.
+    """
+    oracle = get_curve(curve)
+    dim = parts[0].dim
+    nranks = comm.size
+    # local sorts
+    parts = [tree_sort(p, oracle)[0] for p in parts]
+    # splitter selection: allgather per-rank key ranges + counts, then
+    # every rank computes identical global splitters
+    keys_per_rank = [oracle.keys(p) for p in parts]
+    counts = comm.allgather([np.int64(len(p)) for p in parts])[0]
+    all_keys = np.concatenate(keys_per_rank) if sum(counts) else np.zeros(0, np.uint64)
+    all_levels = np.concatenate([p.levels for p in parts])
+    order = np.lexsort((all_levels, all_keys))
+    sorted_keys = all_keys[order]
+    splits = partition_weights(
+        np.ones(len(sorted_keys)), nranks, load_tol, keys=sorted_keys, dim=dim
+    )
+    splitter_keys = sorted_keys[np.clip(splits[1:-1], 0, max(len(sorted_keys) - 1, 0))]
+    # route octants to destination ranks (alltoallv with traffic counts)
+    send: list[list] = [[None] * nranks for _ in range(nranks)]
+    for src in range(nranks):
+        if len(parts[src]) == 0:
+            continue
+        dest = np.searchsorted(splitter_keys, keys_per_rank[src], side="right")
+        for dst in range(nranks):
+            sel = np.flatnonzero(dest == dst)
+            if len(sel):
+                send[src][dst] = _pack(parts[src][sel])
+    recv = comm.alltoallv(send)
+    out = []
+    for r in range(nranks):
+        bufs = [b for b in recv[r] if b is not None]
+        merged = (
+            OctantSet.concatenate([_unpack(b, dim) for b in bufs])
+            if bufs
+            else OctantSet.empty(dim)
+        )
+        out.append(tree_sort(merged, oracle)[0])
+    return out
+
+
+def distributed_construct_constrained(
+    domain: Domain,
+    seed_parts: list[OctantSet],
+    comm: SimComm,
+    load_tol: float = 0.1,
+    curve: str = "morton",
+) -> list[OctantSet]:
+    """Algorithm 3: distributed leaves, no coarser than the seeds.
+
+    Each rank constructs a tree satisfying its local constraints; after
+    a global re-sort, duplicates are removed and overlaps across rank
+    boundaries are resolved preferring finer octants.
+    """
+    oracle = get_curve(curve)
+    dim = domain.dim
+    seed_parts = dist_tree_sort(seed_parts, comm, load_tol, curve)
+    tmp = [construct_constrained(domain, s, curve) for s in seed_parts]
+    tmp = dist_tree_sort(tmp, comm, load_tol, curve)
+    # local dedup + overlap resolution
+    local = [linearize(t, oracle, prefer="finer") for t in tmp]
+    # cross-boundary: an octant whose block extends past the next rank's
+    # first key contains octants there -> drop it (finer wins). Exchange
+    # the first key of each rank to its predecessor.
+    firsts = [
+        oracle.keys(t)[0] if len(t) else np.uint64(0xFFFFFFFFFFFFFFFF)
+        for t in local
+    ]
+    gathered = comm.allgather([np.uint64(f) for f in firsts])[0]
+    out = []
+    for r in range(comm.size):
+        t = local[r]
+        if len(t) == 0 or r == comm.size - 1:
+            out.append(t)
+            continue
+        nxt = np.uint64(min(int(g) for g in gathered[r + 1 :]))
+        ends = block_ends(oracle.keys(t), t.levels, dim)
+        keep = ends <= nxt
+        out.append(t[np.flatnonzero(keep)])
+    return out
+
+
+def distributed_balance_2to1(
+    domain: Domain,
+    seed_parts: list[OctantSet],
+    comm: SimComm,
+    load_tol: float = 0.1,
+    curve: str = "morton",
+) -> list[OctantSet]:
+    """Algorithm 4, distributed: balance via neighbour-of-parent seeds.
+
+    The bottom-up seed propagation runs rank-locally; the generated
+    auxiliary seeds are globally merged by the constrained construction
+    (which already deduplicates through DistTreeSort).
+    """
+    from .balance import bottom_up_constrain_neighbors
+
+    aux = [
+        bottom_up_constrain_neighbors(p) if len(p) else p for p in seed_parts
+    ]
+    return distributed_construct_constrained(domain, aux, comm, load_tol, curve)
+
+
+def gather_global(parts: list[OctantSet], curve: str = "morton") -> OctantSet:
+    """Concatenate per-rank octants into one deduplicated global set."""
+    merged = OctantSet.concatenate([p for p in parts if len(p)])
+    return remove_duplicates(merged, get_curve(curve))

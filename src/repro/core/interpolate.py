@@ -1,0 +1,134 @@
+"""Field evaluation and mesh-to-mesh transfer on incomplete octrees.
+
+Supports the workflow the paper's fast re-meshing enables: when the
+geometry moves or the refinement changes, rebuild the mesh (cheap, by
+design) and *transfer* the solution — each target point is located in a
+source leaf (corner-perturbed SFC point location, the same machinery as
+the hanging-node donor search) and evaluated through the source
+element's shape functions composed with its hanging interpolation, so
+the transferred field is exactly the conforming FE function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..fem.basis import LagrangeBasis, local_node_offsets
+from .mesh import IncompleteMesh
+from .octant import max_level
+from .sfc import get_curve
+from .treesort import block_ends
+
+__all__ = ["locate_points", "evaluation_matrix", "evaluate_field", "transfer_field"]
+
+
+def locate_points(mesh: IncompleteMesh, pts: np.ndarray) -> np.ndarray:
+    """Containing leaf index per physical point (−1 outside the mesh).
+
+    Points on cell boundaries resolve to any containing leaf; field
+    evaluation is continuous there so the choice is immaterial.
+    """
+    dim = mesh.dim
+    m = max_level(dim)
+    oracle = get_curve(mesh.curve)
+    keys = oracle.keys(mesh.leaves)
+    ends = block_ends(keys, mesh.leaves.levels, dim)
+    # scale to fractional anchor units, probe the 2^dim surrounding cells
+    frac = np.asarray(pts, float) / mesh.domain.scale * (1 << m)
+    dirs = 2 * local_node_offsets(1, dim) - 1
+    eps = 0.25
+    out = np.full(len(frac), -1, np.int64)
+    for d in dirs:
+        cand = np.floor(frac + eps * d).astype(np.int64)
+        ok_dom = np.all((cand >= 0) & (cand < (1 << m)), axis=1)
+        cand = np.clip(cand, 0, (1 << m) - 1)
+        ck = oracle.keys_from_coords(cand.astype(np.uint32), dim)
+        idx = np.searchsorted(keys, ck, side="right") - 1
+        idxc = np.clip(idx, 0, len(keys) - 1)
+        hit = ok_dom & (idx >= 0) & (ck >= keys[idxc]) & (ck < ends[idxc])
+        # the candidate cell must actually contain the point (closed)
+        lo = mesh.leaves.anchors.astype(np.int64)[idxc]
+        hi = lo + mesh.leaves.sizes.astype(np.int64)[idxc][:, None]
+        inside = np.all((frac >= lo - 1e-9) & (frac <= hi + 1e-9), axis=1)
+        hit &= inside
+        out = np.where((out < 0) & hit, idxc, out)
+    return out
+
+
+def evaluation_matrix(
+    mesh: IncompleteMesh, pts: np.ndarray, strict: bool = True
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Sparse E with ``E @ u`` = the FE field at ``pts``.
+
+    Returns ``(E, found)``; rows of points outside the mesh are zero
+    (and flagged False in ``found``).  ``strict=True`` raises instead.
+    """
+    dim, p = mesh.dim, mesh.p
+    basis = LagrangeBasis(p, dim)
+    m = max_level(dim)
+    leaf = locate_points(mesh, pts)
+    found = leaf >= 0
+    if strict and not found.all():
+        raise ValueError(
+            f"{int((~found).sum())} evaluation points lie outside the mesh"
+        )
+    frac = np.asarray(pts, float) / mesh.domain.scale * (1 << m)
+    safe = np.where(found, leaf, 0)
+    a = mesh.leaves.anchors.astype(np.int64)[safe]
+    s = mesh.leaves.sizes.astype(np.int64)[safe]
+    xi = np.clip((frac - a) / s[:, None], 0.0, 1.0)
+    N = basis.eval(xi)
+    g = mesh.nodes.gather.tocsr()
+    npe = mesh.npe
+    rows, cols, vals = [], [], []
+    indptr, indices, data = g.indptr, g.indices, g.data
+    for i in np.flatnonzero(found):
+        e = int(leaf[i])
+        r0, r1 = indptr[e * npe], indptr[(e + 1) * npe]
+        slot = np.repeat(
+            np.arange(npe), np.diff(indptr[e * npe : (e + 1) * npe + 1])
+        )
+        w = N[i, slot] * data[r0:r1]
+        nz = w != 0.0
+        rows.append(np.full(int(nz.sum()), i, np.int64))
+        cols.append(indices[r0:r1][nz])
+        vals.append(w[nz])
+    if rows:
+        E = sp.csr_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(len(pts), mesh.n_nodes),
+        )
+    else:
+        E = sp.csr_matrix((len(pts), mesh.n_nodes))
+    E.sum_duplicates()
+    return E, found
+
+
+def evaluate_field(
+    mesh: IncompleteMesh, u: np.ndarray, pts: np.ndarray, strict: bool = True
+) -> np.ndarray:
+    """Evaluate the conforming FE function at arbitrary points."""
+    E, _ = evaluation_matrix(mesh, pts, strict)
+    return E @ u
+
+
+def transfer_field(
+    src: IncompleteMesh, dst: IncompleteMesh, u: np.ndarray
+) -> np.ndarray:
+    """Interpolate a nodal field from one mesh onto another.
+
+    Destination nodes outside the source mesh (the voxel boundary moved
+    — e.g. a translated object) keep the value of the nearest source
+    node, so the transfer is total.
+    """
+    pts = dst.node_coords()
+    E, found = evaluation_matrix(src, pts, strict=False)
+    out = E @ np.asarray(u, float)
+    if not found.all():
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(src.node_coords())
+        _, nearest = tree.query(pts[~found])
+        out[~found] = np.asarray(u, float)[nearest]
+    return out

@@ -1,0 +1,251 @@
+"""Matrix-free MATVEC on incomplete octrees (§3.5).
+
+Two implementations, verified against each other:
+
+* :class:`MapBasedMatVec` — the conventional element-to-node-map
+  approach the paper argues against: gather local vectors through the
+  (sparse) element-to-node interpolation map, apply batched elemental
+  kernels, scatter-add back.  In numpy this is the *fast* path (sparse
+  gather + one dense matmul), so it serves as the production operator.
+
+* :func:`traversal_matvec` — the paper's traversal-based algorithm:
+  a top-down pass buckets nodal values to child subtrees (duplicating
+  nodes incident on several children) until each leaf holds its
+  elemental nodes contiguously; hanging slots are interpolated from the
+  coarser-level nodes present in the leaf's bucket (delivered by the
+  same top-down pass); after the elemental apply, a bottom-up pass
+  accumulates duplicated node instances back to a single value.  The
+  traversal gracefully handles incomplete trees because its path is
+  restricted to the existing octants.  Per-phase timers expose the
+  top-down / leaf-MATVEC / bottom-up breakdown used in the scaling
+  figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fem.elemental import reference_element
+from .mesh import IncompleteMesh
+from .octant import max_level
+from .sfc import get_curve
+from .treesort import block_ends
+
+__all__ = ["MapBasedMatVec", "traversal_matvec", "TraversalTimers", "TraversalPlan"]
+
+
+class MapBasedMatVec:
+    """Element-to-node-map matrix-free operator for a scalar PDE term.
+
+    ``kind`` selects the elemental kernel: ``"stiffness"`` (Poisson),
+    ``"mass"``, or a callable ``f(u_loc, h) -> w_loc`` for custom
+    operators (e.g. the Navier–Stokes blocks).
+    """
+
+    def __init__(self, mesh: IncompleteMesh, kind="stiffness", nquad=None):
+        self.mesh = mesh
+        self.ref = reference_element(mesh.p, mesh.dim, nquad)
+        self.h = mesh.element_sizes()
+        if callable(kind):
+            self._apply_loc = kind
+        elif kind == "stiffness":
+            self._apply_loc = lambda u, h: self.ref.apply_stiffness(u, h)
+        elif kind == "mass":
+            self._apply_loc = lambda u, h: self.ref.apply_mass(u, h)
+        else:
+            raise ValueError(f"unknown kind {kind!r}")
+        self._gather = mesh.nodes.gather
+        self._scatter = self._gather.T.tocsr()
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        npe = self.mesh.npe
+        u_loc = (self._gather @ u).reshape(self.mesh.n_elem, npe)
+        w_loc = self._apply_loc(u_loc, self.h)
+        return self._scatter @ w_loc.reshape(-1)
+
+    @property
+    def shape(self):
+        n = self.mesh.n_nodes
+        return (n, n)
+
+    @property
+    def dtype(self):
+        return np.float64
+
+    def flops(self) -> int:
+        """Elemental double-precision FLOPs of one full MATVEC."""
+        return self.mesh.n_elem * self.ref.matvec_flops_per_element()
+
+    def traffic_bytes(self) -> int:
+        """Modelled bytes moved by the elemental phase of one MATVEC."""
+        return self.mesh.n_elem * self.ref.matvec_bytes_per_element()
+
+
+@dataclass
+class TraversalTimers:
+    """Accumulated per-phase wall times of a traversal MATVEC."""
+
+    top_down: float = 0.0
+    leaf: float = 0.0
+    bottom_up: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.top_down + self.leaf + self.bottom_up
+
+
+class TraversalPlan:
+    """Precomputed per-leaf slot tables for the traversal MATVEC.
+
+    For each element, the (slot, gid, weight) triples of its local
+    interpolation rows — identity entries for ordinary slots, coarse
+    donor weights for hanging slots — extracted once from the gather
+    operator.
+    """
+
+    def __init__(self, mesh: IncompleteMesh):
+        self.mesh = mesh
+        g = mesh.nodes.gather.tocsr()
+        npe = mesh.npe
+        n_elem = mesh.n_elem
+        self.slot_idx: list[np.ndarray] = []
+        self.slot_gid: list[np.ndarray] = []
+        self.slot_w: list[np.ndarray] = []
+        indptr, indices, data = g.indptr, g.indices, g.data
+        for e in range(n_elem):
+            lo, hi = indptr[e * npe], indptr[(e + 1) * npe]
+            rows = np.repeat(
+                np.arange(npe),
+                np.diff(indptr[e * npe : (e + 1) * npe + 1]),
+            )
+            self.slot_idx.append(rows)
+            self.slot_gid.append(indices[lo:hi].astype(np.int64))
+            self.slot_w.append(data[lo:hi])
+        oracle = get_curve(mesh.curve)
+        self.keys = oracle.keys(mesh.leaves)
+        self.ends = block_ends(self.keys, mesh.leaves.levels, mesh.dim)
+        self.coords = mesh.nodes.coords  # 2p-scaled units
+        self.levels = mesh.leaves.levels.astype(np.int64)
+        self.h = mesh.element_sizes()
+        self.oracle = oracle
+
+
+def traversal_matvec(
+    mesh: IncompleteMesh,
+    u: np.ndarray,
+    kind: str = "stiffness",
+    plan: TraversalPlan | None = None,
+    timers: TraversalTimers | None = None,
+    owned_range: tuple[int, int] | None = None,
+) -> np.ndarray:
+    """Traversal-based matrix-free MATVEC (§3.5).
+
+    ``owned_range=(lo, hi)`` restricts the traversal to subtrees
+    containing the owned elements (the distributed-memory augmentation);
+    contributions involving only non-owned elements are skipped.
+    """
+    if plan is None:
+        plan = TraversalPlan(mesh)
+    if timers is None:
+        timers = TraversalTimers()
+    ref = reference_element(mesh.p, mesh.dim)
+    if kind == "stiffness":
+        ker, pw = ref.K_ref, mesh.dim - 2
+    elif kind == "mass":
+        ker, pw = ref.M_ref, mesh.dim
+    else:
+        raise ValueError(f"unknown kind {kind!r}")
+
+    dim = mesh.dim
+    m = max_level(dim)
+    p = mesh.p
+    out = np.zeros_like(u)
+    two_p = 2 * p
+    e_lo, e_hi = owned_range if owned_range is not None else (0, mesh.n_elem)
+
+    coords = plan.coords
+    keys, levels, h = plan.keys, plan.levels, plan.h
+
+    # the traversal carries a stack of (ids, vals, out_vals) bucket
+    # frames, one per tree level on the current path; hanging-slot
+    # donors missing from a leaf's own bucket are interpolated from the
+    # nearest ancestor bucket that holds them ("interpolated from the
+    # immediate parent" in the paper — ancestors, for hanging chains)
+    frames: list[list] = []
+
+    def _leaf_apply(e: int) -> None:
+        t0 = time.perf_counter()
+        gid = plan.slot_gid[e]
+        # locate each needed node in the deepest frame that carries it
+        val_in = np.empty(len(gid))
+        frame_of = np.empty(len(gid), np.int64)
+        pos_of = np.empty(len(gid), np.int64)
+        todo = np.arange(len(gid))
+        for fi in range(len(frames) - 1, -1, -1):
+            if len(todo) == 0:
+                break
+            ids_f = frames[fi][0]
+            pos = np.searchsorted(ids_f, gid[todo])
+            posc = np.clip(pos, 0, max(len(ids_f) - 1, 0))
+            hit = (
+                (pos < len(ids_f)) & (ids_f[posc] == gid[todo])
+                if len(ids_f)
+                else np.zeros(len(todo), bool)
+            )
+            sel = todo[hit]
+            frame_of[sel] = fi
+            pos_of[sel] = posc[hit]
+            val_in[sel] = frames[fi][1][posc[hit]]
+            todo = todo[~hit]
+        if len(todo):
+            raise RuntimeError("traversal path missing elemental nodes")
+        u_loc = np.zeros(ref.npe)
+        np.add.at(u_loc, plan.slot_idx[e], plan.slot_w[e] * val_in)
+        w_loc = (h[e] ** pw) * (ker @ u_loc)
+        contrib = plan.slot_w[e] * w_loc[plan.slot_idx[e]]
+        for fi in np.unique(frame_of):
+            sel = frame_of == fi
+            np.add.at(frames[fi][2], pos_of[sel], contrib[sel])
+        timers.leaf += time.perf_counter() - t0
+
+    def recurse(lo: int, hi: int, box_lo: np.ndarray, level: int) -> None:
+        if hi - lo == 1 and levels[lo] == level:
+            _leaf_apply(lo)
+            return
+        half = np.int64(1) << np.int64(m - level - 1)
+        for c in range(1 << dim):
+            t0 = time.perf_counter()
+            off = np.array([(c >> j) & 1 for j in range(dim)], np.int64)
+            c_lo = box_lo + off * half
+            ck = plan.oracle.keys_from_coords(
+                c_lo.astype(np.uint32)[None, :], dim
+            )[0]
+            span = np.uint64(1) << np.uint64(dim * (m - level - 1))
+            a = int(np.searchsorted(keys, ck, side="left"))
+            b = int(np.searchsorted(keys, ck + span, side="left"))
+            a, b = max(a, lo), min(b, hi)
+            if a >= b or b <= e_lo or a >= e_hi:
+                timers.top_down += time.perf_counter() - t0
+                continue
+            # bucket: nodes incident on the closed child box (2p units)
+            ids, vals, out_vals = frames[-1]
+            nlo = two_p * c_lo
+            nhi = two_p * (c_lo + half)
+            pts = coords[ids]
+            sel = np.flatnonzero(np.all((pts >= nlo) & (pts <= nhi), axis=1))
+            frames.append([ids[sel], vals[sel], np.zeros(len(sel))])
+            timers.top_down += time.perf_counter() - t0
+            recurse(a, b, c_lo, level + 1)
+            t0 = time.perf_counter()
+            child = frames.pop()
+            np.add.at(out_vals, sel, child[2])
+            timers.bottom_up += time.perf_counter() - t0
+
+    ids0 = np.arange(mesh.n_nodes, dtype=np.int64)
+    frames.append([ids0, np.asarray(u, float), np.zeros(mesh.n_nodes)])
+    recurse(0, mesh.n_elem, np.zeros(dim, np.int64), 0)
+    out[:] = frames[0][2]
+    return out

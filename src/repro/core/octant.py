@@ -1,0 +1,257 @@
+"""Dimension-agnostic octant (quadtree/octree cell) algebra.
+
+An octant is identified by its *anchor* (the lexicographically smallest
+corner) expressed in integer coordinates at the finest representable
+resolution, together with its *level* (depth in the tree).  The root
+octant has level 0 and spans ``[0, 2**max_level(dim))`` along every axis;
+an octant at level ``l`` has side ``2**(max_level(dim) - l)`` in anchor
+units.
+
+All operations here are vectorised: octant collections are stored as an
+``(N, dim)`` ``uint32`` anchor array plus an ``(N,)`` ``uint8`` level
+array (see :class:`OctantSet`).  No per-octant Python objects exist in
+hot paths, per the HPC guide idioms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "max_level",
+    "octant_size",
+    "OctantSet",
+    "parent",
+    "children",
+    "child_number",
+    "neighbors",
+    "ancestor_at_level",
+    "contains",
+    "is_ancestor",
+    "cell_bounds",
+]
+
+
+def max_level(dim: int) -> int:
+    """Finest tree depth representable for ``dim`` (keys fit in 63 bits)."""
+    if dim < 1:
+        raise ValueError(f"dimension must be >= 1, got {dim}")
+    return min(63 // dim, 30)
+
+
+def octant_size(levels: np.ndarray | int, dim: int) -> np.ndarray | int:
+    """Side length in anchor units of octants at ``levels``."""
+    m = max_level(dim)
+    lv = np.asarray(levels)
+    if np.any(lv < 0) or np.any(lv > m):
+        raise ValueError(f"levels must lie in [0, {m}]")
+    out = np.uint32(1) << (np.uint32(m) - lv.astype(np.uint32))
+    if np.isscalar(levels):
+        return int(out)
+    return out
+
+
+@dataclass
+class OctantSet:
+    """A flat collection of octants of a fixed dimension.
+
+    Attributes
+    ----------
+    anchors:
+        ``(N, dim)`` uint32 integer anchor coordinates.
+    levels:
+        ``(N,)`` uint8 tree levels.
+    """
+
+    anchors: np.ndarray
+    levels: np.ndarray
+    dim: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        self.anchors = np.ascontiguousarray(self.anchors, dtype=np.uint32)
+        self.levels = np.ascontiguousarray(self.levels, dtype=np.uint8)
+        if self.anchors.ndim != 2:
+            raise ValueError("anchors must be a 2-D (N, dim) array")
+        if self.dim == -1:
+            self.dim = int(self.anchors.shape[1])
+        if self.anchors.shape != (len(self.levels), self.dim):
+            raise ValueError(
+                f"shape mismatch: anchors {self.anchors.shape}, "
+                f"levels {self.levels.shape}, dim {self.dim}"
+            )
+
+    # -- basic container protocol -------------------------------------
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __getitem__(self, idx) -> "OctantSet":
+        if np.isscalar(idx) or isinstance(idx, (int, np.integer)):
+            idx = [idx]
+        return OctantSet(self.anchors[idx], self.levels[idx], self.dim)
+
+    @classmethod
+    def root(cls, dim: int) -> "OctantSet":
+        return cls(np.zeros((1, dim), np.uint32), np.zeros(1, np.uint8), dim)
+
+    @classmethod
+    def empty(cls, dim: int) -> "OctantSet":
+        return cls(np.zeros((0, dim), np.uint32), np.zeros(0, np.uint8), dim)
+
+    @classmethod
+    def concatenate(cls, sets: list["OctantSet"]) -> "OctantSet":
+        if not sets:
+            raise ValueError("need at least one OctantSet")
+        dim = sets[0].dim
+        return cls(
+            np.concatenate([s.anchors for s in sets]),
+            np.concatenate([s.levels for s in sets]),
+            dim,
+        )
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Side lengths in anchor units, one per octant."""
+        return octant_size(self.levels, self.dim)
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Lower and upper corners in anchor units: ``(lo, hi)``."""
+        lo = self.anchors.astype(np.int64)
+        hi = lo + self.sizes.astype(np.int64)[:, None]
+        return lo, hi
+
+    def physical_bounds(self, domain_scale=1.0) -> tuple[np.ndarray, np.ndarray]:
+        """Bounds mapped to physical coordinates in ``[0, domain_scale]**dim``.
+
+        ``domain_scale`` may be a scalar or a length-``dim`` vector (for
+        anisotropic embeddings of the unit cube).
+        """
+        m = max_level(self.dim)
+        h = np.asarray(domain_scale, dtype=np.float64) / (1 << m)
+        lo, hi = self.bounds()
+        return lo * h, hi * h
+
+
+# -- vectorised octant algebra ----------------------------------------
+
+def parent(oset: OctantSet) -> OctantSet:
+    """Parents of every octant (root maps to itself)."""
+    lv = np.maximum(oset.levels.astype(np.int64) - 1, 0)
+    psize = octant_size(lv, oset.dim).astype(np.uint32)
+    mask = ~(psize - np.uint32(1))
+    return OctantSet(oset.anchors & mask[:, None], lv.astype(np.uint8), oset.dim)
+
+
+def children(oset: OctantSet) -> OctantSet:
+    """All ``2**dim`` children of every octant, grouped per parent.
+
+    The output has ``N * 2**dim`` octants ordered parent-major with
+    children in Morton (child-number) order within each parent.
+    """
+    dim = oset.dim
+    m = max_level(dim)
+    if np.any(oset.levels >= m):
+        raise ValueError("cannot refine octants already at max level")
+    n = len(oset)
+    nch = 1 << dim
+    csize = (octant_size(oset.levels, dim) >> 1).astype(np.uint32)
+    # child-number bit j sets axis j
+    offs = np.zeros((nch, dim), np.uint32)
+    for k in range(nch):
+        for j in range(dim):
+            offs[k, j] = (k >> j) & 1
+    anchors = (
+        oset.anchors[:, None, :] + offs[None, :, :] * csize[:, None, None]
+    ).reshape(n * nch, dim)
+    levels = np.repeat(oset.levels + np.uint8(1), nch)
+    return OctantSet(anchors.astype(np.uint32), levels, dim)
+
+
+def child_number(oset: OctantSet) -> np.ndarray:
+    """Morton child index of each octant within its parent (root -> 0)."""
+    dim = oset.dim
+    m = max_level(dim)
+    shift = (m - oset.levels.astype(np.int64)).astype(np.uint32)
+    bits = (oset.anchors.astype(np.uint64) >> shift[:, None].astype(np.uint64)) & 1
+    weights = (np.uint64(1) << np.arange(dim, dtype=np.uint64))
+    out = (bits * weights[None, :]).sum(axis=1).astype(np.int64)
+    out[oset.levels == 0] = 0
+    return out
+
+
+_NEIGHBOR_OFFSETS_CACHE: dict[int, np.ndarray] = {}
+
+
+def _neighbor_offsets(dim: int) -> np.ndarray:
+    """All ``3**dim - 1`` nonzero offsets in {-1, 0, 1}**dim."""
+    if dim not in _NEIGHBOR_OFFSETS_CACHE:
+        grids = np.meshgrid(*([np.array([-1, 0, 1])] * dim), indexing="ij")
+        offs = np.stack([g.ravel() for g in grids], axis=1)
+        offs = offs[np.any(offs != 0, axis=1)]
+        _NEIGHBOR_OFFSETS_CACHE[dim] = offs.astype(np.int64)
+    return _NEIGHBOR_OFFSETS_CACHE[dim]
+
+
+def neighbors(oset: OctantSet, include_self: bool = False) -> OctantSet:
+    """Same-level face/edge/corner neighbours of every octant.
+
+    Neighbours falling outside the root domain are dropped.  Output is
+    concatenated over inputs (duplicates across inputs are *not* removed;
+    callers dedup via SFC keys).
+    """
+    dim = oset.dim
+    m = max_level(dim)
+    offs = _neighbor_offsets(dim)
+    if include_self:
+        offs = np.concatenate([offs, np.zeros((1, dim), np.int64)])
+    sizes = oset.sizes.astype(np.int64)
+    cand = oset.anchors.astype(np.int64)[:, None, :] + offs[None, :, :] * sizes[:, None, None]
+    levels = np.repeat(oset.levels, len(offs))
+    cand = cand.reshape(-1, dim)
+    extent = np.int64(1) << m
+    ok = np.all((cand >= 0) & (cand < extent), axis=1)
+    return OctantSet(cand[ok].astype(np.uint32), levels[ok], dim)
+
+
+def ancestor_at_level(oset: OctantSet, level: int) -> OctantSet:
+    """Ancestors of every octant at a fixed coarser ``level``."""
+    if np.any(oset.levels < level):
+        raise ValueError("requested ancestor level finer than octant level")
+    size = np.uint32(octant_size(level, oset.dim))
+    mask = ~(size - np.uint32(1))
+    return OctantSet(
+        oset.anchors & mask, np.full(len(oset), level, np.uint8), oset.dim
+    )
+
+
+def is_ancestor(a: OctantSet, b: OctantSet) -> np.ndarray:
+    """Elementwise: is ``a[i]`` a strict ancestor of ``b[i]``?"""
+    if len(a) != len(b):
+        raise ValueError("is_ancestor requires equal-length sets")
+    coarser = a.levels < b.levels
+    sizes = a.sizes.astype(np.int64)
+    lo = a.anchors.astype(np.int64)
+    inside = np.all(
+        (b.anchors.astype(np.int64) >= lo)
+        & (b.anchors.astype(np.int64) < lo + sizes[:, None]),
+        axis=1,
+    )
+    return coarser & inside
+
+
+def contains(oset: OctantSet, points: np.ndarray) -> np.ndarray:
+    """Boolean ``(N, P)`` matrix: octant i contains (closed) point j.
+
+    ``points`` are integer anchor-unit coordinates, ``(P, dim)``.
+    Containment is in the *closed* cell (boundary points count), which is
+    what nodal-ownership queries need.
+    """
+    lo, hi = oset.bounds()
+    p = np.asarray(points, dtype=np.int64)
+    return np.all((p[None] >= lo[:, None]) & (p[None] <= hi[:, None]), axis=2)
+
+
+def cell_bounds(oset: OctantSet, domain_scale=1.0):
+    """Convenience alias for :meth:`OctantSet.physical_bounds`."""
+    return oset.physical_bounds(domain_scale)

@@ -1,0 +1,131 @@
+"""Space-filling-curve (SFC) oracles: Morton and Hilbert orderings.
+
+The octree algorithms (TreeSort, construction, partitioning) are
+parameterised by an SFC "oracle" that linearly orders the cells of the
+finest grid.  An octant at level ``l`` covers a contiguous block of
+``2**(dim*(max_level-l))`` finest cells under both curves (the curves are
+self-similar), so the octant's key is the key of its first finest cell,
+i.e. the key of its anchor with the low ``dim*(max_level-l)`` bits
+cleared.
+
+Morton keys are plain bit interleaves.  Hilbert keys use Skilling's
+transpose algorithm ("Programming the Hilbert curve", AIP CP 707, 2004),
+vectorised over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .octant import OctantSet, max_level
+
+__all__ = ["SFCOracle", "MortonOrder", "HilbertOrder", "sfc_sort_order", "get_curve"]
+
+
+def _interleave(coords: np.ndarray, nbits: int, reverse_axes: bool) -> np.ndarray:
+    """Bit-interleave ``(N, dim)`` integer coords into uint64 keys.
+
+    Bit ``j`` of axis ``i`` lands at key position ``j*dim + i`` (or with
+    the axis order reversed when ``reverse_axes`` — the convention the
+    Hilbert transpose format requires, axis 0 most significant).
+    """
+    c = np.ascontiguousarray(coords, dtype=np.uint64)
+    n, dim = c.shape
+    key = np.zeros(n, np.uint64)
+    for i in range(dim):
+        pos = (dim - 1 - i) if reverse_axes else i
+        col = c[:, i]
+        for j in range(nbits):
+            bit = (col >> np.uint64(j)) & np.uint64(1)
+            key |= bit << np.uint64(j * dim + pos)
+    return key
+
+
+def _axes_to_transpose(coords: np.ndarray, nbits: int) -> np.ndarray:
+    """Skilling's AxesToTranspose, vectorised. Returns transposed coords."""
+    x = np.ascontiguousarray(coords, dtype=np.uint64).copy()
+    n, dim = x.shape
+    q = np.uint64(1) << np.uint64(nbits - 1)
+    one = np.uint64(1)
+    # Inverse undo
+    while q > one:
+        p = q - one
+        for i in range(dim):
+            hi = (x[:, i] & q) != 0
+            # invert low bits of x[0] where bit set
+            x[hi, 0] ^= p
+            # exchange low bits of x[0] and x[i] where bit clear
+            lo = ~hi
+            t = (x[lo, 0] ^ x[lo, i]) & p
+            x[lo, 0] ^= t
+            x[lo, i] ^= t
+        q >>= one
+    # Gray encode
+    for i in range(1, dim):
+        x[:, i] ^= x[:, i - 1]
+    t = np.zeros(n, np.uint64)
+    q = np.uint64(1) << np.uint64(nbits - 1)
+    while q > one:
+        sel = (x[:, dim - 1] & q) != 0
+        t[sel] ^= q - one
+        q >>= one
+    x ^= t[:, None]
+    return x
+
+
+class SFCOracle:
+    """Base interface: uint64 keys over finest-grid coordinates."""
+
+    name = "abstract"
+
+    def keys_from_coords(self, coords: np.ndarray, dim: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def keys(self, oset: OctantSet) -> np.ndarray:
+        """Keys of octants: anchor key with sub-octant bits cleared."""
+        m = max_level(oset.dim)
+        key = self.keys_from_coords(oset.anchors, oset.dim)
+        shift = (np.uint64(oset.dim) * (np.uint64(m) - oset.levels.astype(np.uint64)))
+        # clear the low dim*(m-l) bits (block-align the key)
+        return (key >> shift) << shift
+
+
+class MortonOrder(SFCOracle):
+    """Z-order / Lebesgue curve: plain bit interleave."""
+
+    name = "morton"
+
+    def keys_from_coords(self, coords: np.ndarray, dim: int) -> np.ndarray:
+        return _interleave(coords, max_level(dim), reverse_axes=False)
+
+
+class HilbertOrder(SFCOracle):
+    """Hilbert curve via Skilling's transpose algorithm."""
+
+    name = "hilbert"
+
+    def keys_from_coords(self, coords: np.ndarray, dim: int) -> np.ndarray:
+        nbits = max_level(dim)
+        tr = _axes_to_transpose(coords, nbits)
+        return _interleave(tr, nbits, reverse_axes=True)
+
+
+_CURVES = {"morton": MortonOrder(), "hilbert": HilbertOrder()}
+
+
+def get_curve(curve: "str | SFCOracle") -> SFCOracle:
+    """Resolve a curve name ('morton' / 'hilbert') or pass through."""
+    if isinstance(curve, SFCOracle):
+        return curve
+    try:
+        return _CURVES[curve]
+    except KeyError:
+        raise ValueError(f"unknown SFC curve {curve!r}; options: {sorted(_CURVES)}")
+
+
+def sfc_sort_order(oset: OctantSet, curve: "str | SFCOracle" = "morton") -> np.ndarray:
+    """Permutation putting octants in SFC order (ancestors before
+    descendants that start the same block; ties broken coarse-first)."""
+    oracle = get_curve(curve)
+    keys = oracle.keys(oset)
+    return np.lexsort((oset.levels, keys))

@@ -1,0 +1,95 @@
+"""Cell-centred finite volumes on incomplete octree grids (paper future
+work, alongside finite differences).
+
+First-order upwind advection with optional two-point-flux diffusion on
+*uniform-level* incomplete grids: unknowns live at cell centres, fluxes
+cross the same-level interior faces (reusing the DG face enumeration),
+and the carved/domain boundary applies inflow data or outflow
+extrapolation.  Explicit Euler with a CFL guard; exactly conservative
+up to boundary fluxes (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.faces import extract_boundary_faces
+from ..core.mesh import IncompleteMesh
+from .dg import interior_faces
+
+__all__ = ["FVAdvectionProblem"]
+
+
+class FVAdvectionProblem:
+    """c_t + ∇·(v c) = κ Δc, cell-centred, first-order upwind."""
+
+    def __init__(
+        self,
+        mesh: IncompleteMesh,
+        velocity,
+        kappa: float = 0.0,
+        inflow_value: float = 0.0,
+    ):
+        lv = mesh.leaves.levels
+        if lv.min() != lv.max():
+            raise ValueError("the FV scheme requires a uniform-level mesh")
+        self.mesh = mesh
+        self.kappa = float(kappa)
+        self.inflow_value = float(inflow_value)
+        ctr = mesh.element_centers()
+        vel = velocity(ctr) if callable(velocity) else np.asarray(velocity, float)
+        if vel.shape != (mesh.n_elem, mesh.dim):
+            raise ValueError("velocity must be (n_elem, dim)")
+        self.vel = vel
+        self.h = float(mesh.element_sizes()[0])
+        self.em, self.ep, self.fax = interior_faces(mesh)
+        # face-normal velocity (average of the two cells), +axis normal
+        self.vn = 0.5 * (
+            self.vel[self.em, self.fax] + self.vel[self.ep, self.fax]
+        )
+        sub, dom = extract_boundary_faces(mesh)
+        self.b_elem = np.concatenate([sub.elem, dom.elem])
+        self.b_axis = np.concatenate([sub.axis, dom.axis])
+        self.b_sign = 2.0 * np.concatenate([sub.side, dom.side]) - 1.0
+
+    def max_dt(self) -> float:
+        """CFL limit for the explicit update."""
+        vmax = np.abs(self.vel).max() or 1e-30
+        dt_adv = 0.5 * self.h / vmax
+        if self.kappa > 0:
+            dt_diff = 0.25 * self.h**2 / (self.mesh.dim * self.kappa)
+            return min(dt_adv, dt_diff)
+        return dt_adv
+
+    def step(self, c: np.ndarray, dt: float) -> np.ndarray:
+        mesh = self.mesh
+        dim = mesh.dim
+        area = self.h ** (dim - 1)
+        vol = self.h**dim
+        flux = np.zeros(mesh.n_elem)
+        # interior faces: upwind advective + two-point diffusive flux
+        up = np.where(self.vn >= 0, c[self.em], c[self.ep])
+        f_adv = self.vn * up * area
+        f_dif = -self.kappa * (c[self.ep] - c[self.em]) / self.h * area
+        f = f_adv + f_dif
+        np.subtract.at(flux, self.em, f)
+        np.add.at(flux, self.ep, f)
+        # boundary faces: inflow Dirichlet, outflow first-order
+        vb = self.vel[self.b_elem, self.b_axis] * self.b_sign  # outward normal vel
+        cb = np.where(vb >= 0, c[self.b_elem], self.inflow_value)
+        fb = vb * cb * area
+        np.subtract.at(flux, self.b_elem, fb)
+        return c + dt * flux / vol
+
+    def run(self, c0: np.ndarray, t_end: float) -> np.ndarray:
+        c = np.asarray(c0, float).copy()
+        dt = self.max_dt()
+        t = 0.0
+        while t < t_end - 1e-14:
+            step = min(dt, t_end - t)
+            c = self.step(c, step)
+            t += step
+        return c
+
+    def total_mass(self, c: np.ndarray) -> float:
+        return float(c.sum() * self.h**self.mesh.dim)

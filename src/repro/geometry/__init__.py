@@ -1,0 +1,34 @@
+"""Subdomain abstraction (§3.1) and geometric predicates."""
+
+from .classroom import ClassroomScene
+from .predicate import EverywhereRetained, RegionLabel, SubdomainPredicate
+from .primitives import (
+    BoxCarve,
+    BoxRetain,
+    CapsuleCarve,
+    CarveUnion,
+    CylinderCarve,
+    HalfSpaceCarve,
+    SphereCarve,
+    SphereRetain,
+)
+from .trimesh import TriMesh, TriMeshCarve, dragon_blob, icosphere
+
+__all__ = [
+    "RegionLabel",
+    "SubdomainPredicate",
+    "EverywhereRetained",
+    "SphereCarve",
+    "SphereRetain",
+    "BoxCarve",
+    "BoxRetain",
+    "CylinderCarve",
+    "CapsuleCarve",
+    "HalfSpaceCarve",
+    "CarveUnion",
+    "TriMesh",
+    "TriMeshCarve",
+    "icosphere",
+    "dragon_blob",
+    "ClassroomScene",
+]

@@ -1,0 +1,94 @@
+"""The subdomain abstraction of §3.1.
+
+The computational domain is a cube Ω = C ∪ C′ split into a *closed*
+carved set C (the region removed from the mesh — e.g. the inside of an
+immersed object, or everything outside a channel) and its *open*
+complement C′ (the retained region where the PDE is solved).
+
+Applications specify the subdomain through a function ``F(cell)`` over
+filled cubes of zero or positive side length:
+
+* ``CARVED``          — closure(cell) ⊆ C        (prune the subtree)
+* ``RETAIN_INTERNAL`` — closure(cell) ⊆ C′       (never refine for geometry)
+* ``RETAIN_BOUNDARY`` — otherwise                (intercepted by ∂C)
+
+Points (zero-size cells) can never be intercepted: a point is either in
+C ("carved" — by the closed-C convention this includes points exactly on
+∂C, which become *subdomain boundary nodes*) or in C′.
+
+Implementations must be conservative-exact: a cell reported CARVED or
+RETAIN_INTERNAL must truly be so; a cell whose status is uncertain must
+be reported RETAIN_BOUNDARY.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+__all__ = ["RegionLabel", "SubdomainPredicate", "EverywhereRetained"]
+
+
+class RegionLabel(IntEnum):
+    """Classification of a filled cube region (octant or point)."""
+
+    CARVED = 0
+    RETAIN_INTERNAL = 1
+    RETAIN_BOUNDARY = 2
+
+
+class SubdomainPredicate:
+    """Base class for subdomain specifications (the function F of §3.1).
+
+    Subclasses implement the two vectorised queries below.  Physical
+    coordinates are used throughout (the mesh layer converts anchor
+    units to physical units before calling).
+    """
+
+    #: spatial dimension the predicate is defined for
+    dim: int
+
+    def classify_cells(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Classify axis-aligned cells given ``(N, dim)`` corner arrays.
+
+        Returns an ``(N,)`` uint8 array of :class:`RegionLabel` values.
+        """
+        raise NotImplementedError
+
+    def carved_points(self, pts: np.ndarray) -> np.ndarray:
+        """Boolean ``(N,)``: is each point inside the closed carved set C?
+
+        Points exactly on ∂C return True (closed-C convention); such
+        points on retained elements are the subdomain boundary nodes.
+        """
+        raise NotImplementedError
+
+    def boundary_distance(self, pts: np.ndarray) -> np.ndarray:
+        """Signed distance from points to ∂C (positive inside C).
+
+        Optional — needed by the Shifted Boundary Method (§4.3) and the
+        signed-distance study (§4.1).  Default raises.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide boundary distances"
+        )
+
+    def boundary_projection(self, pts: np.ndarray) -> np.ndarray:
+        """Closest point on ∂C for each input point (for SBM's d vector)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide boundary projections"
+        )
+
+
+class EverywhereRetained(SubdomainPredicate):
+    """The trivial predicate: nothing carved (complete octree)."""
+
+    def __init__(self, dim: int):
+        self.dim = dim
+
+    def classify_cells(self, lo, hi):
+        return np.full(len(lo), RegionLabel.RETAIN_INTERNAL, np.uint8)
+
+    def carved_points(self, pts):
+        return np.zeros(len(pts), bool)

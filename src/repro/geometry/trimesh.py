@@ -1,0 +1,354 @@
+"""Watertight triangle-mesh geometry: ray casting and signed distance.
+
+This is the in-repo substitute for the ``trimesh`` library + Stanford
+dragon STL the paper uses (§4.1, Appendix B.1): closed orientable
+2-manifold triangle meshes with
+
+* a vectorised point-in-mesh test (ray-casting parity with a grid
+  prefilter),
+* closest-point signed distance, Eq. (3) of the paper:
+  ``d(p, M) = inf ||p − x||·sign``, positive **inside**,
+* procedural meshes — an icosphere and a "dragon-like" star-shaped
+  blob with multi-frequency surface detail (the Stanford dragon is
+  used by the paper only as *a complex watertight surface*; the blob
+  exercises identical code paths without the asset).
+
+Plus :class:`TriMeshCarve`, the subdomain predicate carving the mesh
+interior from the domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .predicate import RegionLabel, SubdomainPredicate
+
+__all__ = ["TriMesh", "TriMeshCarve", "icosphere", "dragon_blob"]
+
+
+class TriMesh:
+    """A closed, orientable triangle surface mesh."""
+
+    def __init__(self, vertices: np.ndarray, faces: np.ndarray):
+        self.vertices = np.ascontiguousarray(vertices, np.float64)
+        self.faces = np.ascontiguousarray(faces, np.int64)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise ValueError("vertices must be (nv, 3)")
+        if self.faces.ndim != 2 or self.faces.shape[1] != 3:
+            raise ValueError("faces must be (nf, 3)")
+        self.tri = self.vertices[self.faces]  # (nf, 3, 3)
+        self._centroids = self.tri.mean(axis=1)
+        self._radii = np.linalg.norm(
+            self.tri - self._centroids[:, None, :], axis=2
+        ).max(axis=1)
+        self._tree = cKDTree(self._centroids)
+        self._max_radius = float(self._radii.max())
+        # yz-grid prefilter for +x ray casting
+        self._grid_n = 32
+        ymin, zmin = self.tri[:, :, 1].min(), self.tri[:, :, 2].min()
+        ymax, zmax = self.tri[:, :, 1].max(), self.tri[:, :, 2].max()
+        pad = 1e-9 + 1e-9 * max(ymax - ymin, zmax - zmin)
+        self._yz0 = np.array([ymin - pad, zmin - pad])
+        self._yzh = np.array(
+            [(ymax - ymin + 2 * pad) / self._grid_n, (zmax - zmin + 2 * pad) / self._grid_n]
+        )
+        cell_lo = np.floor((self.tri[:, :, 1:].min(axis=1) - self._yz0) / self._yzh)
+        cell_hi = np.floor((self.tri[:, :, 1:].max(axis=1) - self._yz0) / self._yzh)
+        self._bins: list[list[np.ndarray]] = [
+            [None] * self._grid_n for _ in range(self._grid_n)
+        ]
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for f in range(len(self.faces)):
+            for gy in range(int(cell_lo[f, 0]), int(cell_hi[f, 0]) + 1):
+                for gz in range(int(cell_lo[f, 1]), int(cell_hi[f, 1]) + 1):
+                    if 0 <= gy < self._grid_n and 0 <= gz < self._grid_n:
+                        buckets.setdefault((gy, gz), []).append(f)
+        for (gy, gz), lst in buckets.items():
+            self._bins[gy][gz] = np.asarray(lst, np.int64)
+
+    # -- geometry queries -----------------------------------------------
+
+    @property
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.vertices.min(axis=0), self.vertices.max(axis=0)
+
+    def area(self) -> float:
+        e1 = self.tri[:, 1] - self.tri[:, 0]
+        e2 = self.tri[:, 2] - self.tri[:, 0]
+        return float(0.5 * np.linalg.norm(np.cross(e1, e2), axis=1).sum())
+
+    def volume(self) -> float:
+        """Enclosed volume via the divergence theorem (orientation-aware)."""
+        v0, v1, v2 = self.tri[:, 0], self.tri[:, 1], self.tri[:, 2]
+        return float(np.einsum("ij,ij->i", v0, np.cross(v1, v2)).sum() / 6.0)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Ray-casting parity in/out test (+x rays, yz-grid prefilter).
+
+        Query points are jittered by an irrational sub-epsilon offset in
+        the ray-transverse plane so rays never pass exactly through
+        mesh vertices or edges (procedural meshes put many vertices on
+        rational planes, where exact edge hits double-count and flip
+        the parity).
+        """
+        pts = np.atleast_2d(np.asarray(points, np.float64)).copy()
+        span = float(np.max(self.vertices.max(axis=0) - self.vertices.min(axis=0)))
+        pts[:, 1] += 7.3e-8 * span * np.sqrt(2.0)
+        pts[:, 2] += 5.1e-8 * span * np.sqrt(3.0)
+        n = len(pts)
+        inside = np.zeros(n, bool)
+        cell = np.floor((pts[:, 1:] - self._yz0) / self._yzh).astype(np.int64)
+        ok = (
+            (cell[:, 0] >= 0)
+            & (cell[:, 0] < self._grid_n)
+            & (cell[:, 1] >= 0)
+            & (cell[:, 1] < self._grid_n)
+        )
+        # group points by grid cell to share the candidate face list
+        key = cell[:, 0] * self._grid_n + cell[:, 1]
+        key[~ok] = -1
+        order = np.argsort(key, kind="stable")
+        sk = key[order]
+        starts = np.flatnonzero(np.concatenate([[True], sk[1:] != sk[:-1]]))
+        starts = np.append(starts, n)
+        for si in range(len(starts) - 1):
+            a, b = starts[si], starts[si + 1]
+            k = sk[a]
+            if k < 0:
+                continue
+            faces = self._bins[k // self._grid_n][k % self._grid_n]
+            if faces is None:
+                continue
+            idx = order[a:b]
+            inside[idx] = self._parity(pts[idx], faces)
+        return inside
+
+    def _parity(self, pts: np.ndarray, face_idx: np.ndarray) -> np.ndarray:
+        """Count +x ray crossings against the candidate faces."""
+        tri = self.tri[face_idx]  # (m, 3, 3)
+        v0, v1, v2 = tri[:, 0], tri[:, 1], tri[:, 2]
+        # Möller–Trumbore specialised for direction (1, 0, 0)
+        e1 = v1 - v0
+        e2 = v2 - v0
+        # h = dir x e2 = (0, -e2z, e2y)
+        hy, hz = -e2[:, 2], e2[:, 1]
+        a = e1[:, 1] * hy + e1[:, 2] * hz  # e1 · h
+        crossings = np.zeros(len(pts), np.int64)
+        good = np.abs(a) > 1e-14
+        if not good.any():
+            return np.zeros(len(pts), bool)
+        v0g, e1g, e2g = v0[good], e1[good], e2[good]
+        hyg, hzg, ag = hy[good], hz[good], a[good]
+        inv = 1.0 / ag
+        for i, p in enumerate(pts):
+            s = p[None, :] - v0g
+            u = (s[:, 1] * hyg + s[:, 2] * hzg) * inv
+            q = np.cross(s, e1g)
+            v = q[:, 0] * inv  # dir · q with dir=(1,0,0)
+            t = (
+                e2g[:, 0] * q[:, 0] + e2g[:, 1] * q[:, 1] + e2g[:, 2] * q[:, 2]
+            ) * inv
+            hit = (u >= 0) & (v >= 0) & (u + v <= 1) & (t > 1e-12)
+            crossings[i] = int(hit.sum())
+        return crossings % 2 == 1
+
+    def closest_points(self, points: np.ndarray, k: int = 32):
+        """Closest surface point per query point.
+
+        Uses a k-NN centroid prefilter (validated against the true
+        lower bound ``centroid distance − face radius``); falls back to
+        a wider query when the bound is not met.
+        """
+        pts = np.atleast_2d(np.asarray(points, np.float64))
+        nf = len(self.faces)
+        k = min(k, nf)
+        d_c, idx = self._tree.query(pts, k=k)
+        if k == 1:
+            d_c, idx = d_c[:, None], idx[:, None]
+        best_pt, best_d = self._closest_on_faces(pts, idx)
+        # prefilter validity: faces beyond the k-th centroid have
+        # centroid distance >= d_c[:, -1], hence surface distance
+        # >= d_c[:, -1] - max_radius; widen (geometrically) if that
+        # bound does not already exclude them
+        while k < nf:
+            unsafe = np.flatnonzero(best_d > d_c[:, -1] - self._max_radius)
+            if len(unsafe) == 0:
+                break
+            k = min(4 * k, nf)
+            d_c2, idx2 = self._tree.query(pts[unsafe], k=k)
+            bpt, bd = self._closest_on_faces(pts[unsafe], idx2)
+            best_pt[unsafe], best_d[unsafe] = bpt, bd
+            d_c = np.broadcast_to(
+                best_d[:, None] + 2 * self._max_radius, (len(pts), 1)
+            ).copy()
+            d_c[unsafe] = d_c2[:, -1:]
+        return best_pt, best_d
+
+    def _closest_on_faces(self, pts: np.ndarray, face_idx: np.ndarray):
+        """Exact closest point among given faces per point (vectorised)."""
+        tri = self.tri[face_idx]  # (n, k, 3, 3)
+        p = pts[:, None, :]
+        a, b, c = tri[:, :, 0], tri[:, :, 1], tri[:, :, 2]
+        ab, ac, ap = b - a, c - a, p - a
+        d1 = np.einsum("nkd,nkd->nk", ab, ap)
+        d2 = np.einsum("nkd,nkd->nk", ac, ap)
+        bp = p - b
+        d3 = np.einsum("nkd,nkd->nk", ab, bp)
+        d4 = np.einsum("nkd,nkd->nk", ac, bp)
+        cp = p - c
+        d5 = np.einsum("nkd,nkd->nk", ab, cp)
+        d6 = np.einsum("nkd,nkd->nk", ac, cp)
+        va = d3 * d6 - d5 * d4
+        vb = d5 * d2 - d1 * d6
+        vc = d1 * d4 - d3 * d2
+        denom = va + vb + vc
+        denom = np.where(np.abs(denom) < 1e-300, 1.0, denom)
+        v = vb / denom
+        w = vc / denom
+        # interior projection
+        cand = a + v[..., None] * ab + w[..., None] * ac
+        # vertex regions
+        cand = np.where(((d1 <= 0) & (d2 <= 0))[..., None], a, cand)
+        cand = np.where(((d3 >= 0) & (d4 <= d3))[..., None], b, cand)
+        cand = np.where(((d6 >= 0) & (d5 <= d6))[..., None], c, cand)
+        # edge regions
+        t_ab = np.clip(d1 / np.where(d1 - d3 == 0, 1, d1 - d3), 0, 1)
+        on_ab = ((vc <= 0) & (d1 >= 0) & (d3 <= 0))
+        cand = np.where(on_ab[..., None], a + t_ab[..., None] * ab, cand)
+        t_ac = np.clip(d2 / np.where(d2 - d6 == 0, 1, d2 - d6), 0, 1)
+        on_ac = ((vb <= 0) & (d2 >= 0) & (d6 <= 0))
+        cand = np.where(on_ac[..., None], a + t_ac[..., None] * ac, cand)
+        num = d4 - d3
+        den = (d4 - d3) + (d5 - d6)
+        t_bc = np.clip(num / np.where(den == 0, 1, den), 0, 1)
+        on_bc = ((va <= 0) & (d4 - d3 >= 0) & (d5 - d6 >= 0))
+        cand = np.where(on_bc[..., None], b + t_bc[..., None] * (c - b), cand)
+        d = np.linalg.norm(cand - p, axis=2)
+        j = np.argmin(d, axis=1)
+        rows = np.arange(len(pts))
+        return cand[rows, j], d[rows, j]
+
+    def signed_distance(self, points: np.ndarray) -> np.ndarray:
+        """Eq. (3): distance to the surface, positive inside."""
+        _, d = self.closest_points(points)
+        sign = np.where(self.contains(points), 1.0, -1.0)
+        return sign * d
+
+
+class TriMeshCarve(SubdomainPredicate):
+    """Carve the interior of a watertight triangle mesh (C = inside).
+
+    Cell classification is conservative via the signed distance at the
+    cell centre against the cell circumradius — cells near the surface
+    are marked RETAIN_BOUNDARY even if not strictly intercepted, which
+    is allowed by the abstraction ("the intersection test may be as
+    simple or complex as needed").
+    """
+
+    def __init__(self, mesh: TriMesh):
+        self.mesh = mesh
+        self.dim = 3
+
+    def classify_cells(self, lo, hi):
+        ctr = 0.5 * (lo + hi)
+        rad = 0.5 * np.linalg.norm(hi - lo, axis=1)
+        out = np.full(len(lo), RegionLabel.RETAIN_BOUNDARY, np.uint8)
+        # cheap two-sided bound via the nearest face centroid: cells
+        # provably farther from the surface than their circumradius are
+        # decided by the in/out parity test alone
+        d1, _ = self.mesh._tree.query(ctr, k=1)
+        far = np.flatnonzero(d1 - self.mesh._max_radius > rad)
+        if len(far):
+            inside = self.mesh.contains(ctr[far])
+            out[far[inside]] = RegionLabel.CARVED
+            out[far[~inside]] = RegionLabel.RETAIN_INTERNAL
+        near = np.flatnonzero(d1 - self.mesh._max_radius <= rad)
+        if len(near):
+            sd = self.mesh.signed_distance(ctr[near])
+            out[near[sd - rad[near] > 0]] = RegionLabel.CARVED
+            out[near[-sd - rad[near] > 0]] = RegionLabel.RETAIN_INTERNAL
+        return out
+
+    def carved_points(self, pts):
+        return self.mesh.signed_distance(np.asarray(pts, float)) >= 0
+
+    def boundary_distance(self, pts):
+        return self.mesh.signed_distance(np.asarray(pts, float))
+
+    def boundary_projection(self, pts):
+        cp, _ = self.mesh.closest_points(np.asarray(pts, float))
+        return cp
+
+
+# -- procedural meshes ---------------------------------------------------
+
+
+def icosphere(center=(0.0, 0.0, 0.0), radius: float = 1.0, subdivisions: int = 3) -> TriMesh:
+    """Geodesic sphere by recursive icosahedron subdivision."""
+    t = (1.0 + np.sqrt(5.0)) / 2.0
+    verts = np.array(
+        [
+            [-1, t, 0], [1, t, 0], [-1, -t, 0], [1, -t, 0],
+            [0, -1, t], [0, 1, t], [0, -1, -t], [0, 1, -t],
+            [t, 0, -1], [t, 0, 1], [-t, 0, -1], [-t, 0, 1],
+        ],
+        float,
+    )
+    verts /= np.linalg.norm(verts, axis=1, keepdims=True)
+    faces = np.array(
+        [
+            [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
+            [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
+            [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
+            [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+        ],
+        np.int64,
+    )
+    for _ in range(subdivisions):
+        cache: dict[tuple[int, int], int] = {}
+        vlist = list(verts)
+
+        def midpoint(i, j):
+            key = (min(i, j), max(i, j))
+            if key not in cache:
+                m = vlist[i] + vlist[j]
+                m = m / np.linalg.norm(m)
+                cache[key] = len(vlist)
+                vlist.append(m)
+            return cache[key]
+
+        new_faces = []
+        for f in faces:
+            a, b, c = (int(x) for x in f)
+            ab, bc, ca = midpoint(a, b), midpoint(b, c), midpoint(c, a)
+            new_faces += [[a, ab, ca], [b, bc, ab], [c, ca, bc], [ab, bc, ca]]
+        verts = np.asarray(vlist)
+        faces = np.asarray(new_faces, np.int64)
+    return TriMesh(np.asarray(center) + radius * verts, faces)
+
+
+def dragon_blob(
+    center=(0.0, 0.0, 0.0),
+    scale: float = 1.0,
+    subdivisions: int = 4,
+    seed: int = 7,
+) -> TriMesh:
+    """A star-shaped blob with multi-frequency surface detail.
+
+    Substitutes the Stanford dragon: a watertight surface with a large
+    surface-area-to-volume ratio and fine geometric features at several
+    scales, driving the same fine boundary refinement.
+    """
+    base = icosphere((0, 0, 0), 1.0, subdivisions)
+    v = base.vertices
+    theta = np.arccos(np.clip(v[:, 2], -1, 1))
+    phi = np.arctan2(v[:, 1], v[:, 0])
+    rng = np.random.default_rng(seed)
+    r = np.ones(len(v))
+    for ell, amp in [(2, 0.18), (3, 0.14), (5, 0.09), (8, 0.05), (13, 0.025)]:
+        a, b, c = rng.uniform(0, 2 * np.pi, 3)
+        r += amp * np.sin(ell * theta + a) * np.cos(ell * phi + b)
+        r += 0.5 * amp * np.cos((ell + 1) * theta + c) * np.sin(ell * phi + a)
+    r = np.clip(r, 0.55, 1.45)
+    return TriMesh(np.asarray(center) + scale * (v * r[:, None]), base.faces)

@@ -1,0 +1,5 @@
+"""I/O: VTK XML output for meshes and solution fields."""
+
+from .vtu import write_vtu
+
+__all__ = ["write_vtu"]

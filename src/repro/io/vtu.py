@@ -1,0 +1,150 @@
+"""VTK XML unstructured-grid (.vtu) output.
+
+The paper's artifact writes compressed binary .vtu files; this
+substitute writes plain ASCII XML readable by ParaView/VisIt without
+any external dependency.  Elements are exported as disconnected
+quads/hexahedra with per-element corner points — hanging-node values
+are interpolated through the gather operator, so the rendered field is
+exactly the conforming FE function.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.mesh import IncompleteMesh
+from ..fem.basis import local_node_offsets
+
+__all__ = ["write_vtu"]
+
+#: VTK cell types: quad (2D) and hexahedron (3D)
+_VTK_CELL = {2: 9, 3: 12}
+#: VTK corner ordering relative to our axis-0-fastest corner layout
+_VTK_ORDER = {
+    2: [0, 1, 3, 2],
+    3: [0, 1, 3, 2, 4, 5, 7, 6],
+}
+
+
+def _fmt(arr: np.ndarray, per_line: int = 9) -> str:
+    flat = np.asarray(arr).ravel()
+    chunks = [
+        " ".join(f"{v:.10g}" for v in flat[i : i + per_line])
+        for i in range(0, len(flat), per_line)
+    ]
+    return "\n".join(chunks)
+
+
+def write_vtu(
+    mesh: IncompleteMesh,
+    filename,
+    point_data: dict[str, np.ndarray] | None = None,
+    cell_data: dict[str, np.ndarray] | None = None,
+) -> Path:
+    """Write the mesh (and fields) as an ASCII .vtu file.
+
+    ``point_data`` values are global nodal vectors (``n_nodes`` or
+    ``(n_nodes, k)``); ``cell_data`` values are per-element vectors.
+    """
+    dim = mesh.dim
+    if dim not in _VTK_CELL:
+        raise ValueError("vtu export supports dim 2 and 3")
+    p = mesh.p
+    nc = 1 << dim  # corners per element
+    # corner slots within the (p+1)^d local layout
+    off = local_node_offsets(p, dim)
+    corner_slot = np.flatnonzero(
+        np.all((off == 0) | (off == p), axis=1)
+    )
+    # corner coordinates per element (duplicated points)
+    a = mesh.leaves.anchors.astype(np.int64)
+    s = mesh.leaves.sizes.astype(np.int64)
+    X = (
+        2 * p * a[:, None, :]
+        + 2 * off[corner_slot][None, :, :] * s[:, None, None]
+    ) * mesh.nodes.h_node
+    n_elem = mesh.n_elem
+    pts3 = np.zeros((n_elem * nc, 3))
+    pts3[:, :dim] = X.reshape(-1, dim)
+
+    order = _VTK_ORDER[dim]
+    conn = (
+        np.arange(n_elem)[:, None] * nc + np.array(order)[None, :]
+    ).ravel()
+    offsets = np.arange(1, n_elem + 1) * nc
+    types = np.full(n_elem, _VTK_CELL[dim])
+
+    # interpolate point data to the duplicated corner points
+    pd_blocks = []
+    if point_data:
+        g = mesh.nodes.gather
+        npe = mesh.npe
+        for name, field in point_data.items():
+            field = np.asarray(field, float)
+            comps = field.reshape(mesh.n_nodes, -1)
+            k = comps.shape[1]
+            loc = np.stack(
+                [
+                    (g @ comps[:, j]).reshape(n_elem, npe)[:, corner_slot]
+                    for j in range(k)
+                ],
+                axis=2,
+            ).reshape(-1, k)
+            pd_blocks.append((name, k, loc))
+
+    cd_blocks = []
+    if cell_data:
+        for name, field in cell_data.items():
+            field = np.asarray(field, float).reshape(n_elem, -1)
+            cd_blocks.append((name, field.shape[1], field))
+
+    out = []
+    out.append('<?xml version="1.0"?>')
+    out.append(
+        '<VTKFile type="UnstructuredGrid" version="0.1" '
+        'byte_order="LittleEndian">'
+    )
+    out.append("<UnstructuredGrid>")
+    out.append(
+        f'<Piece NumberOfPoints="{len(pts3)}" NumberOfCells="{n_elem}">'
+    )
+    out.append("<Points>")
+    out.append('<DataArray type="Float64" NumberOfComponents="3" format="ascii">')
+    out.append(_fmt(pts3))
+    out.append("</DataArray></Points>")
+    out.append("<Cells>")
+    out.append('<DataArray type="Int64" Name="connectivity" format="ascii">')
+    out.append(_fmt(conn))
+    out.append("</DataArray>")
+    out.append('<DataArray type="Int64" Name="offsets" format="ascii">')
+    out.append(_fmt(offsets))
+    out.append("</DataArray>")
+    out.append('<DataArray type="UInt8" Name="types" format="ascii">')
+    out.append(_fmt(types))
+    out.append("</DataArray></Cells>")
+    if pd_blocks:
+        out.append("<PointData>")
+        for name, k, loc in pd_blocks:
+            out.append(
+                f'<DataArray type="Float64" Name="{name}" '
+                f'NumberOfComponents="{k}" format="ascii">'
+            )
+            out.append(_fmt(loc))
+            out.append("</DataArray>")
+        out.append("</PointData>")
+    if cd_blocks:
+        out.append("<CellData>")
+        for name, k, field in cd_blocks:
+            out.append(
+                f'<DataArray type="Float64" Name="{name}" '
+                f'NumberOfComponents="{k}" format="ascii">'
+            )
+            out.append(_fmt(field))
+            out.append("</DataArray>")
+        out.append("</CellData>")
+    out.append("</Piece></UnstructuredGrid></VTKFile>")
+    path = Path(filename)
+    path.write_text("\n".join(out))
+    return path

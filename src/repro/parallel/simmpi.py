@@ -1,0 +1,139 @@
+"""Simulated MPI: a deterministic in-process virtual communicator.
+
+The paper's distributed algorithms (DistTreeSort partitioning, ghost
+exchange, traversal restriction to owned octants) are data-driven and
+rank-local; executing the rank programs sequentially over partitioned
+data yields bit-identical results while letting us *measure* exact
+communication volumes and message counts.  Real mpi4py is deliberately
+not used: Python process-level MPI is far too slow for the core tree
+algorithms (see DESIGN.md), and wall-clock scaling is produced by the
+explicit performance model in :mod:`repro.parallel.perfmodel` fed with
+the measurements collected here.
+
+The API mirrors the phased collective style of the algorithms: each
+call takes per-rank inputs and returns per-rank outputs, updating the
+per-rank traffic counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimComm", "TrafficCounters"]
+
+
+@dataclass
+class TrafficCounters:
+    """Per-rank accumulated communication statistics."""
+
+    bytes_sent: np.ndarray
+    bytes_recv: np.ndarray
+    messages_sent: np.ndarray
+    collectives: int = 0
+
+    @classmethod
+    def zeros(cls, size: int) -> "TrafficCounters":
+        return cls(
+            np.zeros(size, np.int64), np.zeros(size, np.int64), np.zeros(size, np.int64)
+        )
+
+    def total_bytes(self) -> int:
+        return int(self.bytes_sent.sum())
+
+    def max_bytes_per_rank(self) -> int:
+        return int(self.bytes_sent.max()) if len(self.bytes_sent) else 0
+
+
+def _nbytes(obj) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (list, tuple)):
+        return sum(_nbytes(o) for o in obj)
+    if obj is None:
+        return 0
+    return np.asarray(obj).nbytes
+
+
+class SimComm:
+    """A virtual communicator over ``size`` ranks.
+
+    All collectives are phased: inputs and outputs are length-``size``
+    lists indexed by rank.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = size
+        self.counters = TrafficCounters.zeros(size)
+
+    def reset_counters(self) -> None:
+        self.counters = TrafficCounters.zeros(self.size)
+
+    # -- collectives ----------------------------------------------------
+
+    def alltoallv(self, send: list[list]) -> list[list]:
+        """``send[src][dst]`` → returns ``recv[dst][src]``.
+
+        Entries may be numpy arrays or None (no message).
+        """
+        if len(send) != self.size or any(len(row) != self.size for row in send):
+            raise ValueError("send must be a size x size matrix of buffers")
+        self.counters.collectives += 1
+        recv: list[list] = [[None] * self.size for _ in range(self.size)]
+        for src in range(self.size):
+            for dst in range(self.size):
+                buf = send[src][dst]
+                if buf is None or (isinstance(buf, np.ndarray) and buf.size == 0):
+                    continue
+                nb = _nbytes(buf)
+                if src != dst:
+                    self.counters.bytes_sent[src] += nb
+                    self.counters.bytes_recv[dst] += nb
+                    self.counters.messages_sent[src] += 1
+                recv[dst][src] = buf
+        return recv
+
+    def allgather(self, values: list) -> list[list]:
+        """Each rank contributes one value; all ranks get the list."""
+        if len(values) != self.size:
+            raise ValueError("one value per rank required")
+        self.counters.collectives += 1
+        for r in range(self.size):
+            nb = _nbytes(values[r])
+            self.counters.bytes_sent[r] += nb * (self.size - 1)
+            self.counters.messages_sent[r] += self.size - 1
+            self.counters.bytes_recv[r] += sum(
+                _nbytes(values[s]) for s in range(self.size) if s != r
+            )
+        return [list(values) for _ in range(self.size)]
+
+    def allreduce(self, values: list, op=np.add):
+        """Elementwise reduction of per-rank arrays/scalars."""
+        if len(values) != self.size:
+            raise ValueError("one value per rank required")
+        self.counters.collectives += 1
+        arrs = [np.asarray(v) for v in values]
+        out = arrs[0].copy()
+        for a in arrs[1:]:
+            out = op(out, a)
+        per = _nbytes(arrs[0])
+        self.counters.bytes_sent += per
+        self.counters.bytes_recv += per
+        self.counters.messages_sent += 1
+        return [out.copy() for _ in range(self.size)]
+
+    def exchange(self, messages: dict[tuple[int, int], np.ndarray]):
+        """Batched point-to-point: {(src, dst): array} → same mapping,
+        with traffic counted (self-messages are free)."""
+        self.counters.collectives += 1
+        for (src, dst), buf in messages.items():
+            if src == dst:
+                continue
+            nb = _nbytes(buf)
+            self.counters.bytes_sent[src] += nb
+            self.counters.bytes_recv[dst] += nb
+            self.counters.messages_sent[src] += 1
+        return messages

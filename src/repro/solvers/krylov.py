@@ -1,0 +1,139 @@
+"""Matrix-free Krylov solvers: CG and BiCGStab.
+
+These mirror the PETSc KSP configurations the paper uses
+(``-ksp_type bcgs`` with an additive-Schwarz preconditioner); both
+accept any callable operator, so they compose with the matrix-free
+traversal MATVEC as well as assembled matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["KrylovResult", "cg", "bicgstab"]
+
+Operator = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class KrylovResult:
+    x: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+    matvecs: int = 0
+
+
+def _as_op(A) -> Operator:
+    if callable(A):
+        return A
+    if sp.issparse(A) or isinstance(A, np.ndarray):
+        return lambda v: A @ v
+    raise TypeError(f"cannot interpret {type(A)} as a linear operator")
+
+
+def cg(
+    A,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    M: Operator | None = None,
+    rtol: float = 1e-6,
+    atol: float = 1e-12,
+    maxiter: int | None = None,
+) -> KrylovResult:
+    """Preconditioned conjugate gradients for SPD operators."""
+    op = _as_op(A)
+    n = len(b)
+    maxiter = maxiter or 10 * n
+    x = np.zeros(n) if x0 is None else x0.astype(float).copy()
+    r = b - op(x)
+    nmv = 1
+    z = M(r) if M else r
+    p = z.copy()
+    rz = float(r @ z)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    tol = max(rtol * bnorm, atol)
+    rnorm = float(np.linalg.norm(r))
+    it = 0
+    while rnorm > tol and it < maxiter:
+        Ap = op(p)
+        nmv += 1
+        alpha = rz / float(p @ Ap)
+        x += alpha * p
+        r -= alpha * Ap
+        rnorm = float(np.linalg.norm(r))
+        if rnorm <= tol:
+            it += 1
+            break
+        z = M(r) if M else r
+        rz_new = float(r @ z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+        it += 1
+    return KrylovResult(x, it, rnorm, rnorm <= tol, nmv)
+
+
+def bicgstab(
+    A,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    M: Operator | None = None,
+    rtol: float = 1e-6,
+    atol: float = 1e-12,
+    maxiter: int | None = None,
+) -> KrylovResult:
+    """Preconditioned BiCGStab for general (nonsymmetric) operators."""
+    op = _as_op(A)
+    n = len(b)
+    maxiter = maxiter or 10 * n
+    x = np.zeros(n) if x0 is None else x0.astype(float).copy()
+    r = b - op(x)
+    nmv = 1
+    r_hat = r.copy()
+    rho = alpha = omega = 1.0
+    v = np.zeros(n)
+    p = np.zeros(n)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    tol = max(rtol * bnorm, atol)
+    rnorm = float(np.linalg.norm(r))
+    it = 0
+    while rnorm > tol and it < maxiter:
+        rho_new = float(r_hat @ r)
+        if rho_new == 0.0:
+            break  # breakdown
+        if it == 0:
+            p = r.copy()
+        else:
+            beta = (rho_new / rho) * (alpha / omega)
+            p = r + beta * (p - omega * v)
+        phat = M(p) if M else p
+        v = op(phat)
+        nmv += 1
+        denom = float(r_hat @ v)
+        if denom == 0.0:
+            break
+        alpha = rho_new / denom
+        s = r - alpha * v
+        if np.linalg.norm(s) <= tol:
+            x += alpha * phat
+            r = s
+            rnorm = float(np.linalg.norm(r))
+            it += 1
+            break
+        shat = M(s) if M else s
+        t = op(shat)
+        nmv += 1
+        tt = float(t @ t)
+        omega = float(t @ s) / tt if tt > 0 else 0.0
+        x += alpha * phat + omega * shat
+        r = s - omega * t
+        rho = rho_new
+        rnorm = float(np.linalg.norm(r))
+        it += 1
+        if omega == 0.0:
+            break
+    return KrylovResult(x, it, rnorm, rnorm <= tol, nmv)

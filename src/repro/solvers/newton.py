@@ -1,0 +1,59 @@
+"""Newton's method with backtracking line search (PETSc NEWTONLS role)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["NewtonResult", "newton_ls"]
+
+
+@dataclass
+class NewtonResult:
+    x: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+
+
+def newton_ls(
+    residual: Callable[[np.ndarray], np.ndarray],
+    solve_jacobian: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    rtol: float = 1e-6,
+    atol: float = 1e-12,
+    max_iter: int = 50,
+    max_backtracks: int = 8,
+) -> NewtonResult:
+    """Damped Newton: x ← x + λ δ with δ = −J(x)⁻¹ F(x).
+
+    ``solve_jacobian(x, rhs)`` must return J(x)⁻¹ rhs.  The step is
+    halved until the residual norm decreases (Armijo-free backtracking,
+    the default PETSc ``bt`` behaviour in spirit).
+    """
+    x = np.asarray(x0, float).copy()
+    F = residual(x)
+    norm0 = float(np.linalg.norm(F))
+    norm = norm0
+    tol = max(rtol * norm0, atol)
+    it = 0
+    while norm > tol and it < max_iter:
+        delta = solve_jacobian(x, -F)
+        lam = 1.0
+        for _ in range(max_backtracks):
+            x_try = x + lam * delta
+            F_try = residual(x_try)
+            n_try = float(np.linalg.norm(F_try))
+            if n_try < norm:
+                break
+            lam *= 0.5
+        else:
+            # no decrease found: accept the smallest step and continue
+            x_try = x + lam * delta
+            F_try = residual(x_try)
+            n_try = float(np.linalg.norm(F_try))
+        x, F, norm = x_try, F_try, n_try
+        it += 1
+    return NewtonResult(x, it, norm, norm <= tol)

@@ -1,0 +1,93 @@
+"""Tests for the classroom scene builder (§5)."""
+
+import numpy as np
+import pytest
+
+from repro import build_mesh
+from repro.geometry import ClassroomScene
+from repro.geometry.classroom import ROOM_X, ROOM_Y, ROOM_Z
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return ClassroomScene(n_rows=2, n_cols=3, with_monitors=True)
+
+
+@pytest.fixture(scope="module")
+def mesh(scene):
+    return build_mesh(scene.domain(), 4, 5, p=1)
+
+
+def test_seat_layout(scene):
+    assert len(scene.seats) == 6
+    for x, y in scene.seats:
+        assert 0 < x < ROOM_X and 0 < y < ROOM_Y
+
+
+def test_room_predicate_carves_outside(scene):
+    pts = np.array([[ROOM_X / 2, ROOM_Y + 0.5, 0.5],  # beyond back wall
+                    [ROOM_X / 2, ROOM_Y / 2, ROOM_Z + 0.2],  # above ceiling
+                    [1.6, 1.67, 0.9]])  # mid-air inside the room
+    c = scene.predicate.carved_points(pts)
+    assert list(c) == [True, True, False]
+
+
+def test_furniture_carved(scene):
+    x, y = scene.seats[0]
+    desk_pt = [x, y, scene.desk_h + 0.015]
+    head_pt = [x, y + scene.desk_size[1] / 2 + 0.12, 0.50]
+    c = scene.predicate.carved_points(np.array([desk_pt, head_pt]))
+    assert c.all()
+
+
+def test_monitors_toggle_geometry():
+    a = ClassroomScene(with_monitors=True)
+    b = ClassroomScene(with_monitors=False)
+    x, y = a.seats[0]
+    dy = a.desk_size[1]
+    monitor_pt = np.array([[x, y - dy / 2 + 0.05, a.desk_h + 0.15]])
+    assert a.predicate.carved_points(monitor_pt)[0]
+    assert not b.predicate.carved_points(monitor_pt)[0]
+
+
+def test_mesh_builds_and_boundary_rich(mesh):
+    assert mesh.n_elem > 500
+    assert len(mesh.boundary_elements) > 100
+    assert mesh.nodes.carved_node.sum() > 0
+
+
+def test_velocity_bc_patches(scene, mesh):
+    mask, vals, outlet = scene.velocity_bc(mesh, inlet_speed=2.0)
+    inflow = vals[:, 2] < 0
+    assert inflow.sum() > 0
+    assert np.all(vals[inflow, 2] == -2.0)
+    assert outlet.sum() > 0
+    # outlets are velocity-free (pressure BC)
+    assert not mask[outlet].any()
+    # inlets and outlets don't overlap
+    assert not np.any(inflow & outlet)
+
+
+def test_cough_source_peaks_at_infected_head(scene, mesh):
+    src = scene.cough_source(rate=2.0)
+    pts = mesh.node_coords()
+    v = src(pts)
+    assert v.max() <= 2.0 + 1e-12
+    x, y = scene.seats[scene.infected]
+    head = np.array([x, y + scene.desk_size[1] / 2 + 0.12, 0.55])
+    d = np.linalg.norm(pts[np.argmax(v)] - head)
+    assert d < 0.25
+
+
+def test_breathing_zones_one_per_seat(scene):
+    zones = scene.breathing_zones()
+    assert len(zones) == len(scene.seats)
+    for z in zones:
+        assert z[3] > 0  # positive radius
+
+
+def test_infected_index_selects_source():
+    s0 = ClassroomScene(infected=0)
+    s1 = ClassroomScene(infected=3)
+    pts = np.array([[1.0, 1.0, 0.5]])
+    assert s0.cough_source()(pts)[0] != s1.cough_source()(pts)[0]

@@ -1,0 +1,52 @@
+"""Tests for the artifact-style CLI (python -m repro ...)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    p = build_parser()
+    args = p.parse_args(["mvc-channel", "5", "6", "1", "--ranks", "4"])
+    assert args.base_level == 5 and args.boundary_level == 6
+    assert args.order == 1 and args.ranks == 4
+    args = p.parse_args(["signed-distance", "3", "4", "--shape", "sphere"])
+    assert args.min_level == 3 and args.shape == "sphere"
+
+
+def test_parser_rejects_bad_order():
+    p = build_parser()
+    with pytest.raises(SystemExit):
+        p.parse_args(["mvc-channel", "5", "6", "3"])
+
+
+def test_mvc_channel_runs(capsys, tmp_path):
+    out = tmp_path / "log.txt"
+    rc = main(["mvc-channel", "4", "5", "1", "--ranks", "4",
+               "--out", str(out)])
+    assert rc == 0
+    text = out.read_text()
+    assert "distributed MATVEC == serial: True" in text
+    assert "modelled MATVEC time" in text
+    assert "mesh:" in text
+
+
+def test_mvc_sphere_runs(capsys):
+    rc = main(["mvc-sphere", "3", "4", "2", "--ranks", "2"])
+    assert rc == 0
+    cap = capsys.readouterr().out
+    assert "MVCSphere" in cap
+    assert "eta" in cap
+
+
+def test_signed_distance_runs(capsys, tmp_path):
+    out = tmp_path / "sd.txt"
+    rc = main(["signed-distance", "3", "4", "--shape", "sphere",
+               "--out", str(out)])
+    assert rc == 0
+    lines = out.read_text().strip().splitlines()
+    # error decreases over the two levels
+    e3 = float(lines[-2].split()[-1])
+    e4 = float(lines[-1].split()[-1])
+    assert e4 < e3

@@ -1,0 +1,164 @@
+"""Tests for matrix-free MATVEC (map-based and traversal) & assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assembly import assemble, assemble_traversal
+from repro.core.domain import Domain
+from repro.core.matvec import (
+    MapBasedMatVec,
+    TraversalPlan,
+    TraversalTimers,
+    traversal_matvec,
+)
+from repro.core.mesh import build_mesh, build_uniform_mesh
+from repro.geometry.primitives import BoxRetain, SphereCarve
+
+
+@pytest.fixture(scope="module")
+def carved_mesh_2d():
+    dom = Domain(SphereCarve([0.5, 0.5], 0.3))
+    return build_mesh(dom, 2, 5, p=1)
+
+
+@pytest.fixture(scope="module")
+def carved_mesh_3d_p2():
+    dom = Domain(SphereCarve([0.5, 0.5, 0.5], 0.3))
+    return build_mesh(dom, 2, 3, p=2)
+
+
+def test_map_matvec_matches_assembled(carved_mesh_2d):
+    mesh = carved_mesh_2d
+    rng = np.random.default_rng(0)
+    u = rng.standard_normal(mesh.n_nodes)
+    mv = MapBasedMatVec(mesh)
+    A = assemble(mesh)
+    assert np.allclose(mv(u), A @ u, atol=1e-12)
+
+
+def test_traversal_matches_map(carved_mesh_2d):
+    mesh = carved_mesh_2d
+    rng = np.random.default_rng(1)
+    u = rng.standard_normal(mesh.n_nodes)
+    y_map = MapBasedMatVec(mesh)(u)
+    y_tr = traversal_matvec(mesh, u)
+    assert np.allclose(y_tr, y_map, atol=1e-12)
+
+
+def test_traversal_matches_map_3d_p2(carved_mesh_3d_p2):
+    mesh = carved_mesh_3d_p2
+    rng = np.random.default_rng(2)
+    u = rng.standard_normal(mesh.n_nodes)
+    assert np.allclose(
+        traversal_matvec(mesh, u), MapBasedMatVec(mesh)(u), atol=1e-12
+    )
+
+
+def test_traversal_timers_accumulate(carved_mesh_2d):
+    mesh = carved_mesh_2d
+    t = TraversalTimers()
+    traversal_matvec(mesh, np.ones(mesh.n_nodes), timers=t)
+    assert t.top_down > 0 and t.leaf > 0 and t.bottom_up > 0
+    assert t.total == pytest.approx(t.top_down + t.leaf + t.bottom_up)
+
+
+def test_traversal_plan_reuse(carved_mesh_2d):
+    mesh = carved_mesh_2d
+    plan = TraversalPlan(mesh)
+    u = np.linspace(0, 1, mesh.n_nodes)
+    y1 = traversal_matvec(mesh, u, plan=plan)
+    y2 = traversal_matvec(mesh, u)
+    assert np.allclose(y1, y2)
+
+
+def test_traversal_owned_range_partitions_sum(carved_mesh_2d):
+    """Restricting to element sub-ranges and summing = full MATVEC
+    (the distributed-memory decomposition property)."""
+    mesh = carved_mesh_2d
+    rng = np.random.default_rng(3)
+    u = rng.standard_normal(mesh.n_nodes)
+    full = traversal_matvec(mesh, u)
+    mid = mesh.n_elem // 2
+    part = traversal_matvec(mesh, u, owned_range=(0, mid)) + traversal_matvec(
+        mesh, u, owned_range=(mid, mesh.n_elem)
+    )
+    assert np.allclose(part, full, atol=1e-12)
+
+
+def test_mass_kind(carved_mesh_2d):
+    mesh = carved_mesh_2d
+    rng = np.random.default_rng(4)
+    u = rng.standard_normal(mesh.n_nodes)
+    y_map = MapBasedMatVec(mesh, kind="mass")(u)
+    y_tr = traversal_matvec(mesh, u, kind="mass")
+    A = assemble(mesh, kind="mass")
+    assert np.allclose(y_map, A @ u, atol=1e-12)
+    assert np.allclose(y_tr, A @ u, atol=1e-12)
+
+
+def test_unknown_kind_raises(carved_mesh_2d):
+    with pytest.raises(ValueError):
+        MapBasedMatVec(carved_mesh_2d, kind="advection-nonsense")
+    with pytest.raises(ValueError):
+        traversal_matvec(
+            carved_mesh_2d, np.zeros(carved_mesh_2d.n_nodes), kind="nope"
+        )
+
+
+def test_custom_elemental_callable(carved_mesh_2d):
+    mesh = carved_mesh_2d
+    mv_st = MapBasedMatVec(mesh, kind="stiffness")
+    ref = mv_st.ref
+
+    def my_stiffness(u_loc, h):
+        return ref.apply_stiffness(u_loc, h)
+
+    mv_c = MapBasedMatVec(mesh, kind=my_stiffness)
+    u = np.linspace(-1, 1, mesh.n_nodes)
+    assert np.allclose(mv_c(u), mv_st(u))
+
+
+def test_stiffness_spd_properties(carved_mesh_2d):
+    A = assemble(carved_mesh_2d)
+    assert abs(A - A.T).max() < 1e-12
+    ones = np.ones(A.shape[0])
+    assert np.abs(A @ ones).max() < 1e-10  # constants in the nullspace
+    d = A.diagonal()
+    assert np.all(d > 0)
+
+
+def test_assembly_traversal_equals_bsr(carved_mesh_2d):
+    A1 = assemble(carved_mesh_2d)
+    A2 = assemble_traversal(carved_mesh_2d)
+    assert abs(A1 - A2).max() < 1e-12
+
+
+def test_mass_matrix_volume_3d():
+    """1' M 1 equals the voxelated retained volume exactly."""
+    dom = Domain(SphereCarve([0.5, 0.5, 0.5], 0.3))
+    mesh = build_mesh(dom, 2, 4, p=1)
+    M = assemble(mesh, kind="mass")
+    ones = np.ones(mesh.n_nodes)
+    vol_mass = float(ones @ (M @ ones))
+    vol_cells = float(np.sum(mesh.element_sizes() ** 3))
+    assert vol_mass == pytest.approx(vol_cells, rel=1e-12)
+
+
+def test_flops_and_bytes_counters(carved_mesh_2d):
+    mv = MapBasedMatVec(carved_mesh_2d)
+    assert mv.flops() == carved_mesh_2d.n_elem * (2 * 16 + 4)
+    assert mv.traffic_bytes() > 0
+    assert mv.shape == (carved_mesh_2d.n_nodes, carved_mesh_2d.n_nodes)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_matvec_linearity_property(seed, carved_mesh_2d):
+    mesh = carved_mesh_2d
+    rng = np.random.default_rng(seed)
+    u, v = rng.standard_normal((2, mesh.n_nodes))
+    a, b = rng.standard_normal(2)
+    mv = MapBasedMatVec(mesh)
+    assert np.allclose(mv(a * u + b * v), a * mv(u) + b * mv(v), atol=1e-10)

@@ -1,0 +1,93 @@
+"""Tests for the IncompleteMesh facade, Domain, and misc core pieces."""
+
+import numpy as np
+import pytest
+
+from repro import Domain, build_mesh, build_uniform_mesh, mesh_from_leaves
+from repro.core.construct import construct_adaptive
+from repro.geometry import RegionLabel, SphereCarve
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    dom = Domain(SphereCarve([0.5, 0.5], 0.25))
+    return build_mesh(dom, 3, 5, p=1)
+
+
+def test_summary_contains_counts(mesh):
+    s = mesh.summary()
+    assert str(mesh.n_elem) in s and str(mesh.n_nodes) in s
+
+
+def test_boundary_elements_are_intercepted(mesh):
+    lab = mesh.domain.classify_octants(mesh.leaves)
+    assert np.array_equal(
+        np.flatnonzero(lab == RegionLabel.RETAIN_BOUNDARY),
+        mesh.boundary_elements,
+    )
+
+
+def test_element_sizes_match_levels(mesh):
+    h = mesh.element_sizes()
+    lv = mesh.leaves.levels.astype(int)
+    assert np.allclose(h, 2.0 ** (-lv.astype(float)))
+
+
+def test_element_centers_inside_domain(mesh):
+    ctr = mesh.element_centers()
+    assert np.all((ctr > 0) & (ctr < 1))
+
+
+def test_dirichlet_mask_is_union(mesh):
+    m = mesh.dirichlet_mask
+    assert np.array_equal(
+        m, mesh.nodes.carved_node | mesh.nodes.domain_boundary
+    )
+
+
+def test_mesh_from_leaves_check_flag():
+    dom = Domain(SphereCarve([0.5, 0.5], 0.25))
+    leaves = construct_adaptive(dom, 2, 5)
+    # without balancing the raw leaf set may violate 2:1
+    m = mesh_from_leaves(dom, leaves, balance=True, check=True)
+    assert m.n_elem >= len(leaves)
+
+
+def test_domain_validation():
+    with pytest.raises(ValueError):
+        Domain()  # neither predicate nor dim
+    with pytest.raises(ValueError):
+        Domain(SphereCarve([0.5, 0.5], 0.1), dim=3)  # dim mismatch
+
+
+def test_domain_query_counters():
+    dom = Domain(SphereCarve([0.5, 0.5], 0.25))
+    assert dom.cell_queries == 0
+    build_mesh(dom, 2, 4, p=1)
+    ncell, npt = dom.cell_queries, dom.point_queries
+    assert ncell > 0 and npt > 0
+    dom.reset_query_counters()
+    assert dom.cell_queries == 0 and dom.point_queries == 0
+
+
+def test_domain_h_unit(mesh):
+    from repro.core.octant import max_level
+
+    assert mesh.domain.h_unit == pytest.approx(1.0 / (1 << max_level(2)))
+
+
+def test_build_mesh_default_boundary_level():
+    dom = Domain(SphereCarve([0.5, 0.5], 0.25))
+    m = build_mesh(dom, 3)  # boundary defaults to base
+    assert m.leaves.levels.max() == 3
+
+
+def test_node_coords_shape(mesh):
+    pts = mesh.node_coords()
+    assert pts.shape == (mesh.n_nodes, 2)
+    assert pts.min() >= 0 and pts.max() <= 1
+
+
+def test_uniform_mesh_has_no_hanging():
+    m = build_uniform_mesh(Domain(dim=3), 2, p=2)
+    assert m.nodes.n_hanging_slots == 0

@@ -1,0 +1,157 @@
+"""Tests for Poisson problems, SBM and boundary faces."""
+
+import numpy as np
+import pytest
+
+from repro import Domain, build_mesh, build_uniform_mesh
+from repro.core.faces import extract_boundary_faces
+from repro.fem import PoissonProblem, l2_error, linf_error, load_vector
+from repro.fem.sbm import face_quadrature, sbm_terms
+from repro.geometry import BoxRetain, SphereCarve, SphereRetain
+
+
+@pytest.fixture(scope="module")
+def disk_mesh():
+    return build_uniform_mesh(Domain(SphereRetain([0.5, 0.5], 0.5)), 5, p=1)
+
+
+def test_load_vector_constant_integrates_area(disk_mesh):
+    b = load_vector(disk_mesh, 1.0)
+    # sum of the load vector = integral of 1 over the voxel domain
+    area_cells = float(np.sum(disk_mesh.element_sizes() ** 2))
+    assert b.sum() == pytest.approx(area_cells, rel=1e-12)
+
+
+def test_poisson_square_manufactured():
+    """Complete square, u = sin(pi x) sin(pi y): optimal L2 rates."""
+    def exact(pts):
+        return np.sin(np.pi * pts[:, 0]) * np.sin(np.pi * pts[:, 1])
+
+    def f(pts):
+        return 2 * np.pi**2 * exact(pts)
+
+    errs = []
+    for lv in (3, 4, 5):
+        mesh = build_uniform_mesh(Domain(dim=2), lv, p=1)
+        u = PoissonProblem(mesh, f=f, dirichlet=0.0).solve(rtol=1e-12)
+        errs.append(l2_error(mesh, u, exact))
+    r = np.log2(errs[0] / errs[1]), np.log2(errs[1] / errs[2])
+    assert r[0] > 1.8 and r[1] > 1.8
+
+
+def test_poisson_p2_superior_accuracy():
+    def exact(pts):
+        return np.sin(np.pi * pts[:, 0]) * np.sin(np.pi * pts[:, 1])
+
+    def f(pts):
+        return 2 * np.pi**2 * exact(pts)
+
+    mesh1 = build_uniform_mesh(Domain(dim=2), 4, p=1)
+    mesh2 = build_uniform_mesh(Domain(dim=2), 4, p=2)
+    e1 = l2_error(mesh1, PoissonProblem(mesh1, f=f).solve(rtol=1e-12), exact)
+    e2 = l2_error(mesh2, PoissonProblem(mesh2, f=f).solve(rtol=1e-12), exact)
+    assert e2 < e1 / 5
+
+
+def test_poisson_on_adaptive_carved_mesh():
+    """The full carved pipeline runs and satisfies the max principle."""
+    dom = Domain(SphereCarve([0.5, 0.5], 0.25))
+    mesh = build_mesh(dom, 3, 5, p=1)
+    u = PoissonProblem(mesh, f=1.0, dirichlet=0.0).solve()
+    assert u.max() > 0
+    assert u.min() >= -1e-10  # no undershoot below the boundary data
+
+
+def test_poisson_unknown_method():
+    mesh = build_uniform_mesh(Domain(dim=2), 3, p=1)
+    with pytest.raises(ValueError):
+        PoissonProblem(mesh, method="magic").solve()
+
+
+def test_nodal_dirichlet_values_applied():
+    mesh = build_uniform_mesh(Domain(dim=2), 3, p=1)
+    g = lambda pts: pts[:, 0]
+    u = PoissonProblem(mesh, f=0.0, dirichlet=g).solve(rtol=1e-12)
+    # harmonic extension of x is x itself
+    assert np.abs(u - mesh.node_coords()[:, 0]).max() < 1e-8
+
+
+# -- boundary faces -------------------------------------------------------
+
+
+def test_boundary_faces_counts_uniform_square():
+    mesh = build_uniform_mesh(Domain(dim=2), 3, p=1)
+    sub, dom = extract_boundary_faces(mesh)
+    assert len(sub) == 0          # nothing carved
+    assert len(dom) == 4 * 8      # 8 cells per side
+
+
+def test_boundary_faces_carved_box():
+    pred = SphereCarve([0.5, 0.5], 0.2)
+    mesh = build_mesh(Domain(pred), 4, 4, p=1)
+    sub, _ = extract_boundary_faces(mesh)
+    assert len(sub) > 0
+    # each face's outward neighbour cell centre must be carved
+    lo, hi = mesh.leaves.physical_bounds(1.0)
+    h = mesh.element_sizes()
+    ctr = 0.5 * (lo + hi)
+    n = sub.outward_normals(2)
+    probe = ctr[sub.elem] + n * h[sub.elem][:, None]
+    assert pred.carved_points(probe).all()
+
+
+def test_face_quadrature_weights_sum_to_one():
+    for axis in (0, 1, 2):
+        for side in (0, 1):
+            pts, wts = face_quadrature(1, 3, axis, side, 2)
+            assert wts.sum() == pytest.approx(1.0)
+            assert np.allclose(pts[:, axis], side)
+
+
+def test_sbm_terms_empty_when_no_boundary():
+    mesh = build_uniform_mesh(Domain(dim=2), 3, p=1)
+    A, b = sbm_terms(mesh, lambda p: np.zeros(len(p)),
+                     include_domain_faces=False)
+    assert A.nnz == 0 and np.all(b == 0)
+
+
+def test_sbm_linear_exactness():
+    """SBM reproduces any linear solution exactly (patch test)."""
+    dom = Domain(SphereRetain([0.5, 0.5], 0.5))
+    mesh = build_uniform_mesh(dom, 4, p=1)
+    g = lambda pts: 3.0 * pts[:, 0] - pts[:, 1] + 0.5
+    u = PoissonProblem(mesh, f=0.0, dirichlet=g, method="sbm").solve()
+    assert linf_error(mesh, u, g) < 1e-9
+
+
+def test_sbm_second_order_beats_nodal():
+    R, c = 0.5, np.array([0.5, 0.5])
+
+    def exact(pts):
+        return 0.25 * (R * R - ((pts - c) ** 2).sum(axis=1))
+
+    dom = Domain(SphereRetain(c, R))
+    mesh = build_uniform_mesh(dom, 6, p=1)
+    e_nodal = l2_error(
+        mesh, PoissonProblem(mesh, f=1.0, method="nodal").solve(), exact
+    )
+    e_sbm = l2_error(
+        mesh, PoissonProblem(mesh, f=1.0, method="sbm").solve(), exact
+    )
+    assert e_sbm < e_nodal / 5
+
+
+def test_matrix_free_solve_matches_assembled():
+    dom = Domain(SphereCarve([0.5, 0.5], 0.25))
+    mesh = build_mesh(dom, 3, 5, p=1)
+    prob = PoissonProblem(mesh, f=1.0, dirichlet=0.0)
+    u_mf = prob.solve(solver="matrix-free")
+    u_cg = prob.solve(solver="cg")
+    assert np.abs(u_mf - u_cg).max() < 1e-10
+
+
+def test_matrix_free_rejects_sbm():
+    dom = Domain(SphereRetain([0.5, 0.5], 0.5))
+    mesh = build_uniform_mesh(dom, 4, p=1)
+    with pytest.raises(ValueError):
+        PoissonProblem(mesh, f=1.0, method="sbm").solve(solver="matrix-free")

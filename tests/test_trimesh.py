@@ -1,0 +1,137 @@
+"""Tests for the triangle-mesh substrate (repro.geometry.trimesh)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import TriMesh, TriMeshCarve, dragon_blob, icosphere
+from repro.geometry.predicate import RegionLabel
+
+
+@pytest.fixture(scope="module")
+def sphere():
+    return icosphere((0.5, 0.5, 0.5), 0.3, subdivisions=3)
+
+
+def test_icosphere_counts():
+    s0 = icosphere(subdivisions=0)
+    assert len(s0.faces) == 20 and len(s0.vertices) == 12
+    s2 = icosphere(subdivisions=2)
+    assert len(s2.faces) == 20 * 16
+
+
+def test_icosphere_area_volume(sphere):
+    r = 0.3
+    assert sphere.area() == pytest.approx(4 * np.pi * r * r, rel=0.01)
+    assert sphere.volume() == pytest.approx(4 / 3 * np.pi * r**3, rel=0.01)
+
+
+def test_bounds(sphere):
+    lo, hi = sphere.bounds
+    assert np.allclose(lo, 0.2, atol=1e-6)
+    assert np.allclose(hi, 0.8, atol=1e-6)
+
+
+def test_contains_radial(sphere):
+    rng = np.random.default_rng(1)
+    pts = rng.uniform(0, 1, (500, 3))
+    inside = sphere.contains(pts)
+    r = np.linalg.norm(pts - 0.5, axis=1)
+    # faceted sphere lies between insphere and circumsphere
+    assert not np.any(inside & (r > 0.3 + 1e-9))
+    assert not np.any(~inside & (r < 0.29))
+
+
+def test_contains_outside_grid_bbox(sphere):
+    pts = np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 1.0], [-5.0, 0.5, 0.5]])
+    assert not sphere.contains(pts).any()
+
+
+def test_signed_distance_sign_and_magnitude(sphere):
+    pts = np.array([[0.5, 0.5, 0.5], [0.95, 0.5, 0.5], [0.5, 0.79, 0.5]])
+    sd = sphere.signed_distance(pts)
+    assert sd[0] == pytest.approx(0.3, abs=0.01)  # deep inside, positive
+    assert sd[1] == pytest.approx(-0.15, abs=0.01)  # outside, negative
+    assert abs(sd[2]) < 0.02  # near the surface
+
+
+def test_closest_points_on_surface(sphere):
+    rng = np.random.default_rng(2)
+    pts = rng.uniform(0.1, 0.9, (100, 3))
+    cp, d = sphere.closest_points(pts)
+    # closest points lie on the faceted surface: radius within facet sag
+    r = np.linalg.norm(cp - 0.5, axis=1)
+    assert np.all((r > 0.29) & (r <= 0.3 + 1e-9))
+    # distances are consistent
+    assert np.allclose(d, np.linalg.norm(pts - cp, axis=1))
+
+
+def test_closest_points_widening_safety(sphere):
+    """Tiny-k prefilter must still return the true closest point."""
+    pts = np.array([[0.5, 0.5, 0.5], [0.0, 0.0, 0.0]])
+    cp1, d1 = sphere.closest_points(pts, k=1)
+    cp2, d2 = sphere.closest_points(pts, k=len(sphere.faces))
+    assert np.allclose(d1, d2, atol=1e-12)
+
+
+def test_dragon_blob_watertight_statistics():
+    blob = dragon_blob(subdivisions=3, seed=7)
+    assert blob.volume() > 0  # consistently oriented
+    # surface-to-volume ratio well above the sphere's (the point of it)
+    s = icosphere(subdivisions=3)
+    assert blob.area() / blob.volume() > s.area() / s.volume()
+
+
+def test_dragon_blob_deterministic():
+    a = dragon_blob(subdivisions=2, seed=3)
+    b = dragon_blob(subdivisions=2, seed=3)
+    assert np.array_equal(a.vertices, b.vertices)
+    c = dragon_blob(subdivisions=2, seed=4)
+    assert not np.array_equal(a.vertices, c.vertices)
+
+
+def test_trimesh_carve_classification(sphere):
+    pred = TriMeshCarve(sphere)
+    lo = np.array([[0.45, 0.45, 0.45], [0.0, 0.0, 0.0], [0.75, 0.45, 0.45]])
+    hi = lo + 0.1
+    lab = pred.classify_cells(lo, hi)
+    assert lab[0] == RegionLabel.CARVED
+    assert lab[1] == RegionLabel.RETAIN_INTERNAL
+    assert lab[2] == RegionLabel.RETAIN_BOUNDARY
+
+
+def test_trimesh_carve_conservative(sphere):
+    """Cells marked CARVED/INTERNAL must truly be inside/outside."""
+    pred = TriMeshCarve(sphere)
+    rng = np.random.default_rng(3)
+    lo = rng.uniform(0, 0.9, (50, 3))
+    hi = lo + rng.uniform(0.02, 0.1, (50, 3))
+    lab = pred.classify_cells(lo, hi)
+    for i in range(50):
+        samples = lo[i] + rng.uniform(0, 1, (10, 3)) * (hi[i] - lo[i])
+        inside = sphere.contains(samples)
+        if lab[i] == RegionLabel.CARVED:
+            assert inside.all()
+        elif lab[i] == RegionLabel.RETAIN_INTERNAL:
+            assert not inside.any()
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        TriMesh(np.zeros((3, 2)), np.zeros((1, 3), int))
+    with pytest.raises(ValueError):
+        TriMesh(np.zeros((3, 3)), np.zeros((1, 4), int))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_signed_distance_matches_analytic_property(seed):
+    """|signed distance| of the icosphere tracks the analytic sphere
+    within the facet sag everywhere."""
+    s = icosphere((0.5, 0.5, 0.5), 0.3, subdivisions=2)
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0.05, 0.95, (50, 3))
+    sd = s.signed_distance(pts)
+    analytic = 0.3 - np.linalg.norm(pts - 0.5, axis=1)
+    assert np.abs(sd - analytic).max() < 0.02
