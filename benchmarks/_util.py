@@ -3,13 +3,17 @@
 Every bench regenerates one table or figure of the paper (see the
 per-experiment index in DESIGN.md) and writes its rows both to stdout
 and to ``benchmarks/results/<name>.txt`` so the output survives pytest
-capture.  Absolute numbers are laptop-scale; EXPERIMENTS.md records the
-paper-vs-measured comparison.
+capture.  A machine-readable JSON sidecar
+(``benchmarks/results/<name>.json``, schema ``repro.obs/bench.v1``) is
+written alongside: the same lines, any structured records added with
+:meth:`ResultTable.record`, and the aggregated :mod:`repro.obs` trace
+summary of the run.  Absolute numbers are laptop-scale; EXPERIMENTS.md
+records the paper-vs-measured comparison.
 """
 
 from __future__ import annotations
 
-import os
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -18,17 +22,41 @@ RESULTS_DIR = Path(__file__).parent / "results"
 class ResultTable:
     """Collects printed rows and persists them per experiment."""
 
-    def __init__(self, name: str, title: str):
+    def __init__(self, name: str, title: str, results_dir=None):
         self.name = name
+        self.title = title
+        self.results_dir = Path(results_dir) if results_dir else RESULTS_DIR
         self.lines: list[str] = [title, "=" * len(title)]
+        self.records: list[dict] = []
         print(f"\n{title}", flush=True)
 
     def row(self, text: str) -> None:
         self.lines.append(text)
         print(text, flush=True)
 
+    def record(self, **fields) -> None:
+        """Add one structured row to the JSON sidecar (not printed)."""
+        self.records.append(fields)
+
     def save(self) -> Path:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        out = RESULTS_DIR / f"{self.name}.txt"
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        out = self.results_dir / f"{self.name}.txt"
         out.write_text("\n".join(self.lines) + "\n")
+        self._save_sidecar()
+        return out
+
+    def _save_sidecar(self) -> Path:
+        from repro.obs import summary
+        from repro.obs.report import BENCH_SCHEMA_ID
+
+        doc = {
+            "schema": BENCH_SCHEMA_ID,
+            "name": self.name,
+            "title": self.title,
+            "lines": self.lines,
+            "records": self.records,
+            "trace": summary(),
+        }
+        out = self.results_dir / f"{self.name}.json"
+        out.write_text(json.dumps(doc, indent=1) + "\n")
         return out

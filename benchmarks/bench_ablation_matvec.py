@@ -13,13 +13,8 @@ correctness half of the claim that matters for the reproduction.
 import numpy as np
 import pytest
 
-from repro import Domain, build_mesh
-from repro.core.matvec import (
-    MapBasedMatVec,
-    TraversalPlan,
-    TraversalTimers,
-    traversal_matvec,
-)
+from repro import Domain, build_mesh, obs
+from repro.core.matvec import MapBasedMatVec, TraversalPlan, traversal_matvec
 from repro.geometry import SphereCarve
 
 from _util import ResultTable
@@ -42,12 +37,21 @@ def test_traversal_vs_map_ablation(benchmark, mesh):
     rng = np.random.default_rng(0)
     u = rng.standard_normal(mesh.n_nodes)
     plan = TraversalPlan(mesh)
-    timers = TraversalTimers()
 
-    y_tr = benchmark.pedantic(
-        lambda: traversal_matvec(mesh, u, plan=plan, timers=timers),
-        rounds=1, iterations=1,
-    )
+    obs.reset()
+    obs.enable()
+    try:
+        y_tr = benchmark.pedantic(
+            lambda: traversal_matvec(mesh, u, plan=plan),
+            rounds=1, iterations=1,
+        )
+    finally:
+        obs.disable()
+    phases = {
+        p.split("/")[-1]: s
+        for p, s in obs.summary()["spans"].items()
+        if p.startswith("matvec.traversal/")
+    }
     y_map = mv(u)
     t = ResultTable(
         "ablation_matvec",
@@ -55,10 +59,16 @@ def test_traversal_vs_map_ablation(benchmark, mesh):
         f"({mesh.n_elem} elements, {mesh.n_nodes} DOFs)",
     )
     t.row(f"max |traversal - map| = {np.abs(y_tr - y_map).max():.3e}")
-    t.row(f"traversal phases: top-down {timers.top_down:.3f}s, "
-          f"leaf {timers.leaf:.3f}s, bottom-up {timers.bottom_up:.3f}s")
+    t.row("traversal phases: " + ", ".join(
+        f"{name.removeprefix('matvec.')} {phases[name]['duration']:.3f}s"
+        for name in ("matvec.top_down", "matvec.leaf", "matvec.bottom_up")
+    ))
     t.row("(in numpy the map-based gather is the fast path; the traversal "
           "is the faithful reference of §3.5)")
+    for name, s in phases.items():
+        t.record(phase=name, seconds=s["duration"], count=s["count"],
+                 **s["counters"])
     t.save()
     assert np.allclose(y_tr, y_map, atol=1e-10)
-    assert timers.top_down > 0 and timers.leaf > 0
+    assert phases["matvec.top_down"]["duration"] > 0
+    assert phases["matvec.leaf"]["duration"] > 0

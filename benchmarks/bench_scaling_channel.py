@@ -12,9 +12,8 @@ result.  Paper efficiencies: strong 81% (linear) / 90% (quadratic) over
 """
 
 import numpy as np
-import pytest
 
-from repro import Domain, build_mesh
+from repro import Domain, build_mesh, obs
 from repro.core.matvec import MapBasedMatVec
 from repro.geometry import BoxRetain
 from repro.parallel import (
@@ -39,7 +38,13 @@ def channel_domain(length=16.0):
 
 
 def scaling_run(mesh, ranks_list, verify_ranks=()):
-    """Measured partition stats + modelled times per rank count."""
+    """Measured partition stats + modelled times per rank count.
+
+    The modelled phase breakdown is published as ``matvec.<phase>``
+    spans under one ``matvec.modelled`` span per rank count; the
+    reported Fig 7 percentages are read back from those spans
+    (requires :mod:`repro.obs` to be enabled by the caller).
+    """
     rows = []
     serial = None
     for nranks in ranks_list:
@@ -47,6 +52,11 @@ def scaling_run(mesh, ranks_list, verify_ranks=()):
         layout = analyze_partition(mesh, splits)
         stats = rank_statistics(mesh, layout)
         phases = model_matvec(stats, p=mesh.p, dim=mesh.dim, machine=FRONTERA)
+        with obs.span("matvec.modelled", ranks=nranks, p=mesh.p):
+            phase_spans = {
+                k: obs.record(f"matvec.{k}", float(v))
+                for k, v in phases.breakdown().items()
+            }
         if nranks in verify_ranks:
             if serial is None:
                 rng = np.random.default_rng(0)
@@ -55,7 +65,7 @@ def scaling_run(mesh, ranks_list, verify_ranks=()):
             u, ref = serial
             dist = distributed_matvec(mesh, layout, u, SimComm(nranks))
             assert np.allclose(dist, ref, atol=1e-9)
-        rows.append((nranks, stats, phases))
+        rows.append((nranks, stats, phases, phase_spans))
     return rows
 
 
@@ -65,17 +75,19 @@ def _report_strong(t, rows, label):
           f"{'eff':>6}  {'breakdown td/leaf/bu/comm/malloc (%)':>38}")
     t0 = None
     effs = []
-    for nranks, stats, ph in rows:
+    for nranks, stats, ph, phase_spans in rows:
         tt = ph.time
         t0 = t0 or tt * nranks
         eff = t0 / (tt * nranks)
         effs.append(eff)
-        br = ph.breakdown()
+        # Fig 7 breakdown straight from the recorded obs spans
+        br = {k: sp.duration for k, sp in phase_spans.items()}
         tot = sum(br.values())
         pct = "/".join(f"{100 * br[k] / tot:.0f}" for k in
                        ("top_down", "leaf", "bottom_up", "comm", "malloc"))
         t.row(f"{nranks:>6} {stats.n_elem.mean():>10.0f} {tt * 1e3:>8.2f}ms "
               f"{ph.parallel_cost() * 1e3:>8.1f}ms {eff:>6.2f}  {pct:>38}")
+        t.record(label=label, ranks=nranks, t_matvec=tt, efficiency=eff, **br)
     return effs
 
 
@@ -92,10 +104,15 @@ def test_channel_strong_scaling(benchmark):
     )
     ranks = (1, 2, 4, 8, 16, 32, 64, 128)
     effs = {}
-    for p, mesh in meshes.items():
-        t.row(f"mesh: {mesh.n_elem} elements, {mesh.n_nodes} DOFs (p={p})")
-        rows = scaling_run(mesh, ranks, verify_ranks=(8,))
-        effs[p] = _report_strong(t, rows, f"p={p}")
+    obs.reset()
+    obs.enable()
+    try:
+        for p, mesh in meshes.items():
+            t.row(f"mesh: {mesh.n_elem} elements, {mesh.n_nodes} DOFs (p={p})")
+            rows = scaling_run(mesh, ranks, verify_ranks=(8,))
+            effs[p] = _report_strong(t, rows, f"p={p}")
+    finally:
+        obs.disable()
     t.row("paper: 81% (linear) and 90% (quadratic) efficiency at 128x")
     t.save()
     assert effs[1][-1] > 0.5, "linear strong efficiency collapsed"

@@ -12,10 +12,20 @@ This module provides the equivalents on the simulated substrate::
     python -m repro mvc-sphere  4 7 2 [--ranks 32] [--out log.txt]
     python -m repro signed-distance [--shape blob|sphere] 3 6 [--out log.txt]
 
+The paper's executable names work as aliases (``MVCChannel``,
+``MVCSphere``, ``signedDistance``) and all positionals have defaults,
+so ``python -m repro MVCChannel`` runs out of the box.
+
 Each command prints (and optionally writes) the same timing/statistics
 rows the paper's logs contain: per-phase MATVEC breakdown from the
 measured partition + machine model, or per-level boundary-node
 signed-distance errors.
+
+With ``REPRO_TRACE=1`` every command additionally writes a
+:mod:`repro.obs` run artifact (span tree + flat metrics) to
+``--trace-out`` (default ``trace_<command>.json``); inspect it with
+``python -m repro trace-report`` and compare two runs with
+``python -m repro trace-diff``.
 """
 
 from __future__ import annotations
@@ -25,6 +35,8 @@ import sys
 import time
 
 import numpy as np
+
+from . import obs
 
 
 def _emit(lines: list[str], out: str | None) -> None:
@@ -75,6 +87,12 @@ def _mvc_common(domain, base, boundary, order, ranks, label):
     stats = rank_statistics(mesh, layout)
     ph = model_matvec(stats, p=order, dim=mesh.dim, machine=FRONTERA)
     br = ph.breakdown()
+    # publish the modelled phase breakdown as spans so the artifact
+    # carries both the measured (matvec.rank subtree) and the modelled
+    # FRONTERA numbers
+    with obs.span("matvec.modelled", ranks=ranks):
+        for phase_name, seconds in br.items():
+            obs.record(f"matvec.{phase_name}", float(seconds))
     lines.append(
         "modelled MATVEC time: "
         f"{ph.time * 1e3:.3f} ms  (top-down {br['top_down'] * 1e3:.3f}, "
@@ -143,6 +161,31 @@ def cmd_signed_distance(args) -> None:
     _emit(lines, args.out)
 
 
+def cmd_trace_report(args) -> None:
+    from .obs.report import load_artifact, render_report, to_chrome_trace
+
+    doc = load_artifact(args.artifact)
+    print(render_report(doc))
+    if args.chrome:
+        import json
+
+        with open(args.chrome, "w") as fh:
+            json.dump(to_chrome_trace(doc), fh)
+        print(f"chrome trace written to {args.chrome}")
+
+
+def cmd_trace_diff(args) -> None:
+    from .obs.regress import diff_artifacts, render_diff
+    from .obs.report import load_artifact
+
+    deltas = diff_artifacts(
+        load_artifact(args.base), load_artifact(args.new), tol=args.tol
+    )
+    print(render_diff(deltas, args.tol))
+    if any(d.status in ("slower", "added", "removed") for d in deltas):
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -150,29 +193,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    def add_mvc(name, func, helptext):
-        s = sub.add_parser(name, help=helptext)
-        s.add_argument("base_level", type=int)
-        s.add_argument("boundary_level", type=int)
-        s.add_argument("order", type=int, choices=(1, 2))
+    def add_mvc(name, alias, func, helptext):
+        s = sub.add_parser(name, aliases=[alias], help=helptext)
+        s.add_argument("base_level", type=int, nargs="?", default=4)
+        s.add_argument("boundary_level", type=int, nargs="?", default=6)
+        s.add_argument("order", type=int, nargs="?", choices=(1, 2), default=1)
         s.add_argument("--ranks", type=int, default=16)
         s.add_argument("--out", default=None)
-        s.set_defaults(func=func)
+        s.add_argument("--trace-out", default=None,
+                       help="run-artifact path (default trace_<command>.json)")
+        s.set_defaults(func=func, trace_name=name)
 
-    add_mvc("mvc-channel", cmd_mvc_channel, "channel MATVEC scaling run")
-    add_mvc("mvc-sphere", cmd_mvc_sphere, "sphere MATVEC scaling run")
-    s = sub.add_parser("signed-distance", help="voxel signed-distance sweep")
-    s.add_argument("min_level", type=int)
-    s.add_argument("max_level", type=int)
+    add_mvc("mvc-channel", "MVCChannel", cmd_mvc_channel,
+            "channel MATVEC scaling run")
+    add_mvc("mvc-sphere", "MVCSphere", cmd_mvc_sphere,
+            "sphere MATVEC scaling run")
+    s = sub.add_parser(
+        "signed-distance", aliases=["signedDistance"],
+        help="voxel signed-distance sweep",
+    )
+    s.add_argument("min_level", type=int, nargs="?", default=4)
+    s.add_argument("max_level", type=int, nargs="?", default=6)
     s.add_argument("--shape", choices=("blob", "sphere"), default="blob")
     s.add_argument("--out", default=None)
-    s.set_defaults(func=cmd_signed_distance)
+    s.add_argument("--trace-out", default=None,
+                   help="run-artifact path (default trace_<command>.json)")
+    s.set_defaults(func=cmd_signed_distance, trace_name="signed-distance")
+
+    s = sub.add_parser("trace-report", help="render a repro.obs run artifact")
+    s.add_argument("artifact")
+    s.add_argument("--chrome", default=None,
+                   help="also write a Chrome-trace timeline to this path")
+    s.set_defaults(func=cmd_trace_report, trace_name=None)
+
+    s = sub.add_parser("trace-diff",
+                       help="per-span regression diff of two artifacts")
+    s.add_argument("base")
+    s.add_argument("new")
+    s.add_argument("--tol", type=float, default=0.25,
+                   help="relative slowdown tolerance (default 0.25)")
+    s.set_defaults(func=cmd_trace_diff, trace_name=None)
     return p
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    tracing = obs.is_enabled() and getattr(args, "trace_name", None)
+    if tracing:
+        obs.reset()
     args.func(args)
+    if tracing:
+        path = getattr(args, "trace_out", None) or f"trace_{args.trace_name}.json"
+        obs.write_artifact(path, args.trace_name)
+        print(f"trace artifact written to {path}")
     return 0
 
 

@@ -24,6 +24,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..fem.elemental import reference_element
+from ..obs import span
 from .matvec import TraversalPlan
 from .mesh import IncompleteMesh
 
@@ -45,16 +46,19 @@ def elemental_blocks(mesh: IncompleteMesh, kind="stiffness", nquad=None) -> np.n
 
 def assemble(mesh: IncompleteMesh, kind="stiffness", blocks=None) -> sp.csr_matrix:
     """Assembled global sparse operator (CSR)."""
-    if blocks is None:
-        blocks = elemental_blocks(mesh, kind)
-    n_elem, npe, _ = blocks.shape
-    B = sp.bsr_matrix(
-        (blocks, np.arange(n_elem), np.arange(n_elem + 1)),
-        shape=(n_elem * npe, n_elem * npe),
-    )
-    g = mesh.nodes.gather
-    A = (g.T @ (B @ g)).tocsr()
-    A.sum_duplicates()
+    with span("assembly") as osp:
+        if blocks is None:
+            blocks = elemental_blocks(mesh, kind)
+        n_elem, npe, _ = blocks.shape
+        B = sp.bsr_matrix(
+            (blocks, np.arange(n_elem), np.arange(n_elem + 1)),
+            shape=(n_elem * npe, n_elem * npe),
+        )
+        g = mesh.nodes.gather
+        A = (g.T @ (B @ g)).tocsr()
+        A.sum_duplicates()
+        osp.add("elements", n_elem)
+        osp.add("nnz", int(A.nnz))
     return A
 
 
@@ -68,25 +72,28 @@ def assemble_traversal(
     emitted with global indices (hanging slots expand into their donor
     combinations).  Verified in tests to equal :func:`assemble`.
     """
-    if blocks is None:
-        blocks = elemental_blocks(mesh, kind)
-    plan = TraversalPlan(mesh)
-    n = mesh.n_nodes
-    rows_l, cols_l, vals_l = [], [], []
-    for e in range(mesh.n_elem):
-        slot, gid, w = plan.slot_idx[e], plan.slot_gid[e], plan.slot_w[e]
-        Ke = blocks[e]
-        # entry (i, j) of Ke contributes w_a * w_b * Ke[i, j] for every
-        # (a: slot==i), (b: slot==j) pair
-        kw = Ke[np.ix_(slot, slot)] * np.outer(w, w)
-        rr = np.broadcast_to(gid[:, None], kw.shape)
-        cc = np.broadcast_to(gid[None, :], kw.shape)
-        rows_l.append(rr.ravel())
-        cols_l.append(cc.ravel())
-        vals_l.append(kw.ravel())
-    A = sp.csr_matrix(
-        (np.concatenate(vals_l), (np.concatenate(rows_l), np.concatenate(cols_l))),
-        shape=(n, n),
-    )
-    A.sum_duplicates()
+    with span("assembly.traversal") as osp:
+        if blocks is None:
+            blocks = elemental_blocks(mesh, kind)
+        plan = TraversalPlan(mesh)
+        n = mesh.n_nodes
+        rows_l, cols_l, vals_l = [], [], []
+        for e in range(mesh.n_elem):
+            slot, gid, w = plan.slot_idx[e], plan.slot_gid[e], plan.slot_w[e]
+            Ke = blocks[e]
+            # entry (i, j) of Ke contributes w_a * w_b * Ke[i, j] for
+            # every (a: slot==i), (b: slot==j) pair
+            kw = Ke[np.ix_(slot, slot)] * np.outer(w, w)
+            rr = np.broadcast_to(gid[:, None], kw.shape)
+            cc = np.broadcast_to(gid[None, :], kw.shape)
+            rows_l.append(rr.ravel())
+            cols_l.append(cc.ravel())
+            vals_l.append(kw.ravel())
+        A = sp.csr_matrix(
+            (np.concatenate(vals_l), (np.concatenate(rows_l), np.concatenate(cols_l))),
+            shape=(n, n),
+        )
+        A.sum_duplicates()
+        osp.add("elements", mesh.n_elem)
+        osp.add("triplets", sum(len(v) for v in vals_l))
     return A

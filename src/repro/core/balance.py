@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import span
 from .domain import Domain
 from .construct import construct_constrained
 from .octant import OctantSet, neighbors, parent
 from .sfc import SFCOracle, get_curve
-from .treesort import block_ends, remove_duplicates, tree_sort
+from .treesort import block_ends, remove_duplicates
 
 __all__ = [
     "bottom_up_constrain_neighbors",
@@ -61,8 +62,14 @@ def balance_2to1(
 
     ``seeds`` is typically the unbalanced leaf set from construction.
     """
-    aux = bottom_up_constrain_neighbors(seeds)
-    return construct_constrained(domain, aux, curve)
+    with span("balance") as sp:
+        with span("balance.constrain"):
+            aux = bottom_up_constrain_neighbors(seeds)
+        out = construct_constrained(domain, aux, curve)
+        sp.add("seeds", len(seeds))
+        sp.add("aux_seeds", len(aux))
+        sp.add("leaves", len(out))
+    return out
 
 
 def find_balance_violations(

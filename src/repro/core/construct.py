@@ -24,6 +24,7 @@ from typing import Callable
 import numpy as np
 
 from ..geometry.predicate import RegionLabel
+from ..obs import span
 from .domain import Domain
 from .octant import OctantSet, children, max_level
 from .sfc import SFCOracle, get_curve
@@ -53,22 +54,28 @@ def _construct_frontier(
     frontier = OctantSet.root(dim)
     leaf_parts: list[OctantSet] = []
     label_parts: list[np.ndarray] = []
-    while len(frontier):
-        labels = domain.classify_octants(frontier)
-        retained = labels != RegionLabel.CARVED
-        frontier = frontier[np.flatnonzero(retained)]
-        labels = labels[retained]
-        if not len(frontier):
-            break
-        split = split_rule(frontier, labels)
-        split &= frontier.levels < m  # hard cap at max depth
-        keep = np.flatnonzero(~split)
-        leaf_parts.append(frontier[keep])
-        if keep_labels:
-            label_parts.append(labels[keep])
-        frontier = children(frontier[np.flatnonzero(split)])
-    leaves = OctantSet.concatenate(leaf_parts) if leaf_parts else OctantSet.empty(dim)
-    leaves, order = tree_sort(leaves, curve)
+    with span("construct") as sp:
+        while len(frontier):
+            sp.add("classified", len(frontier))
+            labels = domain.classify_octants(frontier)
+            retained = labels != RegionLabel.CARVED
+            sp.add("pruned", int(len(frontier) - retained.sum()))
+            frontier = frontier[np.flatnonzero(retained)]
+            labels = labels[retained]
+            if not len(frontier):
+                break
+            split = split_rule(frontier, labels)
+            split &= frontier.levels < m  # hard cap at max depth
+            keep = np.flatnonzero(~split)
+            leaf_parts.append(frontier[keep])
+            if keep_labels:
+                label_parts.append(labels[keep])
+            frontier = children(frontier[np.flatnonzero(split)])
+        leaves = (
+            OctantSet.concatenate(leaf_parts) if leaf_parts else OctantSet.empty(dim)
+        )
+        leaves, order = tree_sort(leaves, curve)
+        sp.add("leaves", len(leaves))
     if keep_labels:
         lab = (
             np.concatenate(label_parts) if label_parts else np.zeros(0, np.uint8)

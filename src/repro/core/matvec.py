@@ -16,25 +16,24 @@ Two implementations, verified against each other:
   same top-down pass); after the elemental apply, a bottom-up pass
   accumulates duplicated node instances back to a single value.  The
   traversal gracefully handles incomplete trees because its path is
-  restricted to the existing octants.  Per-phase timers expose the
-  top-down / leaf-MATVEC / bottom-up breakdown used in the scaling
-  figures.
+  restricted to the existing octants.  When tracing is on (see
+  :mod:`repro.obs`), merge spans ``matvec.top_down`` / ``matvec.leaf``
+  / ``matvec.bottom_up`` accumulate the phase breakdown used in the
+  scaling figures.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from ..fem.elemental import reference_element
+from ..obs import span
 from .mesh import IncompleteMesh
 from .octant import max_level
 from .sfc import get_curve
 from .treesort import block_ends
 
-__all__ = ["MapBasedMatVec", "traversal_matvec", "TraversalTimers", "TraversalPlan"]
+__all__ = ["MapBasedMatVec", "traversal_matvec", "TraversalPlan"]
 
 
 class MapBasedMatVec:
@@ -59,12 +58,17 @@ class MapBasedMatVec:
             raise ValueError(f"unknown kind {kind!r}")
         self._gather = mesh.nodes.gather
         self._scatter = self._gather.T.tocsr()
+        self._flops = mesh.n_elem * self.ref.matvec_flops_per_element()
 
     def __call__(self, u: np.ndarray) -> np.ndarray:
         npe = self.mesh.npe
-        u_loc = (self._gather @ u).reshape(self.mesh.n_elem, npe)
-        w_loc = self._apply_loc(u_loc, self.h)
-        return self._scatter @ w_loc.reshape(-1)
+        with span("matvec.apply", merge=True) as sp:
+            u_loc = (self._gather @ u).reshape(self.mesh.n_elem, npe)
+            w_loc = self._apply_loc(u_loc, self.h)
+            out = self._scatter @ w_loc.reshape(-1)
+            sp.add("elements", self.mesh.n_elem)
+            sp.add("flops", self._flops)
+        return out
 
     @property
     def shape(self):
@@ -77,24 +81,11 @@ class MapBasedMatVec:
 
     def flops(self) -> int:
         """Elemental double-precision FLOPs of one full MATVEC."""
-        return self.mesh.n_elem * self.ref.matvec_flops_per_element()
+        return self._flops
 
     def traffic_bytes(self) -> int:
         """Modelled bytes moved by the elemental phase of one MATVEC."""
         return self.mesh.n_elem * self.ref.matvec_bytes_per_element()
-
-
-@dataclass
-class TraversalTimers:
-    """Accumulated per-phase wall times of a traversal MATVEC."""
-
-    top_down: float = 0.0
-    leaf: float = 0.0
-    bottom_up: float = 0.0
-
-    @property
-    def total(self) -> float:
-        return self.top_down + self.leaf + self.bottom_up
 
 
 class TraversalPlan:
@@ -138,7 +129,6 @@ def traversal_matvec(
     u: np.ndarray,
     kind: str = "stiffness",
     plan: TraversalPlan | None = None,
-    timers: TraversalTimers | None = None,
     owned_range: tuple[int, int] | None = None,
 ) -> np.ndarray:
     """Traversal-based matrix-free MATVEC (§3.5).
@@ -146,11 +136,12 @@ def traversal_matvec(
     ``owned_range=(lo, hi)`` restricts the traversal to subtrees
     containing the owned elements (the distributed-memory augmentation);
     contributions involving only non-owned elements are skipped.
+
+    The top-down / leaf / bottom-up phase breakdown is published as
+    merge spans under a ``matvec.traversal`` span when tracing is on.
     """
     if plan is None:
         plan = TraversalPlan(mesh)
-    if timers is None:
-        timers = TraversalTimers()
     ref = reference_element(mesh.p, mesh.dim)
     if kind == "stiffness":
         ker, pw = ref.K_ref, mesh.dim - 2
@@ -177,39 +168,39 @@ def traversal_matvec(
     frames: list[list] = []
 
     def _leaf_apply(e: int) -> None:
-        t0 = time.perf_counter()
-        gid = plan.slot_gid[e]
-        # locate each needed node in the deepest frame that carries it
-        val_in = np.empty(len(gid))
-        frame_of = np.empty(len(gid), np.int64)
-        pos_of = np.empty(len(gid), np.int64)
-        todo = np.arange(len(gid))
-        for fi in range(len(frames) - 1, -1, -1):
-            if len(todo) == 0:
-                break
-            ids_f = frames[fi][0]
-            pos = np.searchsorted(ids_f, gid[todo])
-            posc = np.clip(pos, 0, max(len(ids_f) - 1, 0))
-            hit = (
-                (pos < len(ids_f)) & (ids_f[posc] == gid[todo])
-                if len(ids_f)
-                else np.zeros(len(todo), bool)
-            )
-            sel = todo[hit]
-            frame_of[sel] = fi
-            pos_of[sel] = posc[hit]
-            val_in[sel] = frames[fi][1][posc[hit]]
-            todo = todo[~hit]
-        if len(todo):
-            raise RuntimeError("traversal path missing elemental nodes")
-        u_loc = np.zeros(ref.npe)
-        np.add.at(u_loc, plan.slot_idx[e], plan.slot_w[e] * val_in)
-        w_loc = (h[e] ** pw) * (ker @ u_loc)
-        contrib = plan.slot_w[e] * w_loc[plan.slot_idx[e]]
-        for fi in np.unique(frame_of):
-            sel = frame_of == fi
-            np.add.at(frames[fi][2], pos_of[sel], contrib[sel])
-        timers.leaf += time.perf_counter() - t0
+        with span("matvec.leaf", merge=True) as lsp:
+            gid = plan.slot_gid[e]
+            # locate each needed node in the deepest frame that carries it
+            val_in = np.empty(len(gid))
+            frame_of = np.empty(len(gid), np.int64)
+            pos_of = np.empty(len(gid), np.int64)
+            todo = np.arange(len(gid))
+            for fi in range(len(frames) - 1, -1, -1):
+                if len(todo) == 0:
+                    break
+                ids_f = frames[fi][0]
+                pos = np.searchsorted(ids_f, gid[todo])
+                posc = np.clip(pos, 0, max(len(ids_f) - 1, 0))
+                hit = (
+                    (pos < len(ids_f)) & (ids_f[posc] == gid[todo])
+                    if len(ids_f)
+                    else np.zeros(len(todo), bool)
+                )
+                sel = todo[hit]
+                frame_of[sel] = fi
+                pos_of[sel] = posc[hit]
+                val_in[sel] = frames[fi][1][posc[hit]]
+                todo = todo[~hit]
+            if len(todo):
+                raise RuntimeError("traversal path missing elemental nodes")
+            u_loc = np.zeros(ref.npe)
+            np.add.at(u_loc, plan.slot_idx[e], plan.slot_w[e] * val_in)
+            w_loc = (h[e] ** pw) * (ker @ u_loc)
+            contrib = plan.slot_w[e] * w_loc[plan.slot_idx[e]]
+            for fi in np.unique(frame_of):
+                sel = frame_of == fi
+                np.add.at(frames[fi][2], pos_of[sel], contrib[sel])
+            lsp.add("elements", 1)
 
     def recurse(lo: int, hi: int, box_lo: np.ndarray, level: int) -> None:
         if hi - lo == 1 and levels[lo] == level:
@@ -217,35 +208,42 @@ def traversal_matvec(
             return
         half = np.int64(1) << np.int64(m - level - 1)
         for c in range(1 << dim):
-            t0 = time.perf_counter()
-            off = np.array([(c >> j) & 1 for j in range(dim)], np.int64)
-            c_lo = box_lo + off * half
-            ck = plan.oracle.keys_from_coords(
-                c_lo.astype(np.uint32)[None, :], dim
-            )[0]
-            span = np.uint64(1) << np.uint64(dim * (m - level - 1))
-            a = int(np.searchsorted(keys, ck, side="left"))
-            b = int(np.searchsorted(keys, ck + span, side="left"))
-            a, b = max(a, lo), min(b, hi)
-            if a >= b or b <= e_lo or a >= e_hi:
-                timers.top_down += time.perf_counter() - t0
+            empty = False
+            with span("matvec.top_down", merge=True) as tsp:
+                off = np.array([(c >> j) & 1 for j in range(dim)], np.int64)
+                c_lo = box_lo + off * half
+                ck = plan.oracle.keys_from_coords(
+                    c_lo.astype(np.uint32)[None, :], dim
+                )[0]
+                kspan = np.uint64(1) << np.uint64(dim * (m - level - 1))
+                a = int(np.searchsorted(keys, ck, side="left"))
+                b = int(np.searchsorted(keys, ck + kspan, side="left"))
+                a, b = max(a, lo), min(b, hi)
+                if a >= b or b <= e_lo or a >= e_hi:
+                    empty = True
+                else:
+                    # bucket: nodes incident on the closed child box
+                    # (2p units)
+                    ids, vals, out_vals = frames[-1]
+                    nlo = two_p * c_lo
+                    nhi = two_p * (c_lo + half)
+                    pts = coords[ids]
+                    sel = np.flatnonzero(
+                        np.all((pts >= nlo) & (pts <= nhi), axis=1)
+                    )
+                    frames.append([ids[sel], vals[sel], np.zeros(len(sel))])
+                    tsp.add("bucketed_nodes", len(sel))
+            if empty:
                 continue
-            # bucket: nodes incident on the closed child box (2p units)
-            ids, vals, out_vals = frames[-1]
-            nlo = two_p * c_lo
-            nhi = two_p * (c_lo + half)
-            pts = coords[ids]
-            sel = np.flatnonzero(np.all((pts >= nlo) & (pts <= nhi), axis=1))
-            frames.append([ids[sel], vals[sel], np.zeros(len(sel))])
-            timers.top_down += time.perf_counter() - t0
             recurse(a, b, c_lo, level + 1)
-            t0 = time.perf_counter()
-            child = frames.pop()
-            np.add.at(out_vals, sel, child[2])
-            timers.bottom_up += time.perf_counter() - t0
+            with span("matvec.bottom_up", merge=True) as bsp:
+                child = frames.pop()
+                np.add.at(out_vals, sel, child[2])
+                bsp.add("merged_nodes", len(sel))
 
     ids0 = np.arange(mesh.n_nodes, dtype=np.int64)
-    frames.append([ids0, np.asarray(u, float), np.zeros(mesh.n_nodes)])
-    recurse(0, mesh.n_elem, np.zeros(dim, np.int64), 0)
+    with span("matvec.traversal"):
+        frames.append([ids0, np.asarray(u, float), np.zeros(mesh.n_nodes)])
+        recurse(0, mesh.n_elem, np.zeros(dim, np.int64), 0)
     out[:] = frames[0][2]
     return out

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..geometry.predicate import RegionLabel
+from ..obs import set_gauge, span
 from .balance import balance_2to1, is_balanced
 from .construct import construct_adaptive, construct_uniform
 from .domain import Domain
@@ -103,7 +104,10 @@ def mesh_from_leaves(
     labels = domain.classify_octants(leaves)
     nodes = build_nodes(domain, leaves, p, curve)
     name = get_curve(curve).name
-    return IncompleteMesh(domain, leaves, labels, nodes, p, name)
+    mesh = IncompleteMesh(domain, leaves, labels, nodes, p, name)
+    set_gauge("mesh.n_elem", mesh.n_elem)
+    set_gauge("mesh.n_nodes", mesh.n_nodes)
+    return mesh
 
 
 def build_mesh(
@@ -122,10 +126,14 @@ def build_mesh(
     """
     if boundary_level is None:
         boundary_level = base_level
-    leaves = construct_adaptive(
-        domain, base_level, boundary_level, curve, extra_refine=extra_refine
-    )
-    return mesh_from_leaves(domain, leaves, p, curve, balance=balance)
+    with span("build_mesh") as sp:
+        leaves = construct_adaptive(
+            domain, base_level, boundary_level, curve, extra_refine=extra_refine
+        )
+        mesh = mesh_from_leaves(domain, leaves, p, curve, balance=balance)
+        sp.add("elements", mesh.n_elem)
+        sp.add("nodes", mesh.n_nodes)
+    return mesh
 
 
 def build_uniform_mesh(

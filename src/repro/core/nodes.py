@@ -35,6 +35,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..fem.basis import LagrangeBasis, local_node_offsets
+from ..obs import span
 from .domain import Domain
 from .octant import OctantSet, max_level
 from .sfc import get_curve
@@ -154,6 +155,20 @@ def build_nodes(
     ``leaves`` must be an SFC-sorted, 2:1-balanced linear octree of
     retained octants (the output of the construction + balance stack).
     """
+    with span("nodes") as sp:
+        nodes = _build_nodes(domain, leaves, p, curve)
+        sp.add("n_nodes", nodes.n_glob)
+        sp.add("hanging_slots", nodes.n_hanging_slots)
+        sp.add("gather_nnz", int(nodes.gather.nnz))
+    return nodes
+
+
+def _build_nodes(
+    domain: Domain,
+    leaves: OctantSet,
+    p: int,
+    curve: str,
+) -> MeshNodes:
     dim = domain.dim
     m = max_level(dim)
     npe = (p + 1) ** dim

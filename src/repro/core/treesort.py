@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import span
 from .octant import OctantSet, max_level
 from .sfc import SFCOracle, get_curve
 
@@ -36,9 +37,11 @@ def tree_sort(
     oset: OctantSet, curve: "str | SFCOracle" = "morton"
 ) -> tuple[OctantSet, np.ndarray]:
     """Sort octants into SFC order. Returns (sorted set, permutation)."""
-    oracle = get_curve(curve)
-    keys = oracle.keys(oset)
-    order = np.lexsort((oset.levels, keys))
+    with span("treesort", merge=True) as sp:
+        oracle = get_curve(curve)
+        keys = oracle.keys(oset)
+        order = np.lexsort((oset.levels, keys))
+        sp.add("octants", len(oset))
     return oset[order], order
 
 

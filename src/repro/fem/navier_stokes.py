@@ -31,6 +31,7 @@ import scipy.sparse.linalg as spla
 
 from ..core.mesh import IncompleteMesh
 from ..fem.elemental import reference_element
+from ..obs import span
 
 __all__ = ["NavierStokesProblem", "big_gather", "NSResult"]
 
@@ -210,25 +211,27 @@ class NavierStokesProblem:
     # -- assembly & solve -------------------------------------------------
 
     def _assemble(self, U: np.ndarray, x_old: np.ndarray | None):
-        mesh = self.mesh
-        dim, npe = self.dim, mesh.npe
-        ndof = (dim + 1) * npe
-        a = self._element_advection(U)
-        E, R = self._blocks(a)
-        ne = mesh.n_elem
-        B = sp.bsr_matrix(
-            (E, np.arange(ne), np.arange(ne + 1)),
-            shape=(ne * ndof, ne * ndof),
-        )
-        A = (self._GT @ (B @ self._G)).tocsr()
-        if x_old is not None:
-            Bm = sp.bsr_matrix(
-                (R, np.arange(ne), np.arange(ne + 1)),
+        with span("ns.assemble", merge=True) as osp:
+            mesh = self.mesh
+            dim, npe = self.dim, mesh.npe
+            ndof = (dim + 1) * npe
+            a = self._element_advection(U)
+            E, R = self._blocks(a)
+            ne = mesh.n_elem
+            B = sp.bsr_matrix(
+                (E, np.arange(ne), np.arange(ne + 1)),
                 shape=(ne * ndof, ne * ndof),
             )
-            b = self._GT @ (Bm @ (self._G @ x_old))
-        else:
-            b = np.zeros(A.shape[0])
+            A = (self._GT @ (B @ self._G)).tocsr()
+            if x_old is not None:
+                Bm = sp.bsr_matrix(
+                    (R, np.arange(ne), np.arange(ne + 1)),
+                    shape=(ne * ndof, ne * ndof),
+                )
+                b = self._GT @ (Bm @ (self._G @ x_old))
+            else:
+                b = np.zeros(A.shape[0])
+            osp.add("elements", ne)
         return self._apply_bc(A, b)
 
     def _apply_bc(self, A: sp.csr_matrix, b: np.ndarray):
@@ -272,18 +275,21 @@ class NavierStokesProblem:
         U, P = U0.copy(), P0.copy()
         res = np.inf
         it = 0
-        for it in range(1, max_iter + 1):
-            A, b = self._assemble(U, x_old)
-            x = spla.splu(A).solve(b)
-            U_new, P_new = self.unpack(x)
-            du = np.linalg.norm(U_new - U) / max(np.linalg.norm(U_new), 1e-12)
-            U = relax * U_new + (1 - relax) * U
-            P = relax * P_new + (1 - relax) * P
-            res = du
-            if verbose:
-                print(f"  picard {it}: dU = {du:.3e}")
-            if du < tol:
-                break
+        with span("ns.picard", merge=True) as osp:
+            for it in range(1, max_iter + 1):
+                A, b = self._assemble(U, x_old)
+                with span("ns.linear_solve", merge=True):
+                    x = spla.splu(A).solve(b)
+                U_new, P_new = self.unpack(x)
+                du = np.linalg.norm(U_new - U) / max(np.linalg.norm(U_new), 1e-12)
+                U = relax * U_new + (1 - relax) * U
+                P = relax * P_new + (1 - relax) * P
+                res = du
+                if verbose:
+                    print(f"  picard {it}: dU = {du:.3e}")
+                if du < tol:
+                    break
+            osp.add("iterations", it)
         return NSResult(U, P, it, res)
 
     def advance(
@@ -298,15 +304,20 @@ class NavierStokesProblem:
         if not np.isfinite(self.dt):
             raise ValueError("advance() requires a finite dt")
         out = NSResult(U, P, 0, np.inf)
-        for s in range(nsteps):
-            x_old = self.pack(out.velocity, out.pressure)
-            out = self.picard_solve(
-                out.velocity, out.pressure, x_old=x_old, max_iter=picard_per_step,
-                tol=1e-8,
-            )
-            if verbose:
-                umax = np.abs(out.velocity).max()
-                print(f"step {s + 1}/{nsteps}: dU = {out.residual:.3e}, |u|max = {umax:.3f}")
+        with span("ns.advance") as osp:
+            for s in range(nsteps):
+                x_old = self.pack(out.velocity, out.pressure)
+                out = self.picard_solve(
+                    out.velocity, out.pressure, x_old=x_old,
+                    max_iter=picard_per_step, tol=1e-8,
+                )
+                if verbose:
+                    umax = np.abs(out.velocity).max()
+                    print(
+                        f"step {s + 1}/{nsteps}: dU = {out.residual:.3e}, "
+                        f"|u|max = {umax:.3f}"
+                    )
+            osp.add("steps", nsteps)
         return out
 
     def divergence_norm(self, U: np.ndarray) -> float:

@@ -1,0 +1,79 @@
+"""repro.obs — unified tracing, counters and machine-readable artifacts.
+
+The observability subsystem every layer of the stack reports into:
+
+* :mod:`repro.obs.trace` — hierarchical spans with per-span counters
+  and merge accumulation for hot loops;
+* :mod:`repro.obs.counters` — named global counters/gauges (the
+  per-rank communication tallies of :class:`repro.parallel.SimComm`
+  publish here);
+* :mod:`repro.obs.report` — JSON run artifacts (span tree + flat
+  metrics dump), text reports and Chrome-trace timelines;
+* :mod:`repro.obs.regress` — per-span deltas between two artifacts.
+
+Off by default; enable with the ``REPRO_TRACE=1`` environment variable
+or :func:`enable`.  Disabled-mode calls cost one attribute check, so
+instrumentation stays in place permanently::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("solve") as sp:
+        sp.add("iterations", it)
+    obs.write_artifact("run.json", "my-run")
+"""
+
+from .counters import REGISTRY, add, get_value, set_gauge, snapshot
+from .trace import TRACER, is_enabled, record, set_enabled, span
+
+__all__ = [
+    "span",
+    "record",
+    "add",
+    "set_gauge",
+    "get_value",
+    "snapshot",
+    "enable",
+    "disable",
+    "set_enabled",
+    "is_enabled",
+    "reset",
+    "collect",
+    "write_artifact",
+    "summary",
+    "TRACER",
+    "REGISTRY",
+]
+
+
+def enable() -> None:
+    """Turn tracing + counter publishing on."""
+    set_enabled(True)
+
+
+def disable() -> None:
+    set_enabled(False)
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics (the enable flag is kept)."""
+    TRACER.reset()
+    REGISTRY.reset()
+
+
+def collect(name: str, meta: dict | None = None) -> dict:
+    from .report import collect as _collect
+
+    return _collect(name, meta)
+
+
+def write_artifact(path, name: str, meta: dict | None = None):
+    from .report import write_artifact as _write
+
+    return _write(path, name, meta)
+
+
+def summary() -> dict:
+    from .report import summary as _summary
+
+    return _summary()

@@ -1,0 +1,94 @@
+"""Named global counters and gauges (Prometheus-style flat metrics).
+
+Monotonic counters (``comm.bytes_sent``) and point-in-time gauges
+(``mesh.n_nodes``) published by the library layers: the simulated MPI
+substrate, ghost analysis, elemental kernels and solvers all report
+here.  Metrics carry optional labels — the per-rank communication
+tallies use ``rank=<r>`` — and render as ``name{rank="3"}`` in the
+flat dump of the run artifact.
+
+Publishing is gated on the global observability switch (see
+:mod:`repro.obs.trace`): with tracing disabled, ``add``/``set_gauge``
+return after one attribute check, so hot paths stay instrumented
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .trace import TRACER
+
+__all__ = ["CounterRegistry", "REGISTRY", "add", "set_gauge", "get_value", "snapshot"]
+
+
+def _render(name: str, labels: tuple) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class CounterRegistry:
+    """Thread-safe registry of monotonic counters and gauges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple, float] = {}
+        self._gauges: dict[tuple, float] = {}
+
+    def add(self, name: str, value: float = 1, **labels) -> None:
+        """Accumulate into a monotonic counter (no-op while disabled)."""
+        if not TRACER.enabled:
+            return
+        if hasattr(value, "item"):  # numpy scalar → JSON-serialisable
+            value = value.item()
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        """Set a gauge to a point-in-time value (no-op while disabled)."""
+        if not TRACER.enabled:
+            return
+        if hasattr(value, "item"):
+            value = value.item()
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            self._gauges[key] = value
+
+    def get_value(self, name: str, **labels):
+        """Read back a counter (or gauge) value; None if never published."""
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            if key in self._counters:
+                return self._counters[key]
+            return self._gauges.get(key)
+
+    def snapshot(self) -> dict:
+        """Flat rendered dump: {"counters": {...}, "gauges": {...}}.
+
+        Keys are sorted so the dump is deterministic run-to-run.
+        """
+        with self._lock:
+            counters = {
+                _render(n, lb): v
+                for (n, lb), v in sorted(self._counters.items())
+            }
+            gauges = {
+                _render(n, lb): v for (n, lb), v in sorted(self._gauges.items())
+            }
+        return {"counters": counters, "gauges": gauges}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+
+
+REGISTRY = CounterRegistry()
+
+add = REGISTRY.add
+set_gauge = REGISTRY.set_gauge
+get_value = REGISTRY.get_value
+snapshot = REGISTRY.snapshot

@@ -1,0 +1,117 @@
+"""Regression analysis over run artifacts: per-span deltas with tolerance.
+
+``python -m repro trace-diff base.json new.json --tol 0.25`` loads two
+run artifacts, aggregates both span forests by dotted path, and reports
+per-span time deltas plus counter mismatches.  Time deltas beyond the
+relative tolerance flag a span as a regression (slower) or an
+improvement (faster); counter deltas are flagged unconditionally —
+counters are deterministic, so any drift means the workload itself
+changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .report import load_artifact
+
+__all__ = ["SpanDelta", "flatten_spans", "diff_artifacts", "render_diff"]
+
+#: spans shorter than this (seconds, both sides) are never flagged —
+#: sub-millisecond timings are clock noise at this scale
+MIN_TIME = 1e-3
+
+
+@dataclass
+class SpanDelta:
+    """Comparison of one aggregated span path across two artifacts."""
+
+    path: str
+    t_base: float | None
+    t_new: float | None
+    status: str  # "ok" | "slower" | "faster" | "added" | "removed"
+    counter_deltas: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def rel(self) -> float | None:
+        if self.t_base is None or self.t_new is None or self.t_base == 0:
+            return None
+        return (self.t_new - self.t_base) / self.t_base
+
+
+def flatten_spans(doc: dict) -> dict[str, dict]:
+    """Aggregate a span forest by dotted path → totals."""
+    agg: dict[str, dict] = {}
+
+    def walk(s: dict, prefix: str) -> None:
+        path = f"{prefix}/{s['name']}" if prefix else s["name"]
+        slot = agg.setdefault(path, {"duration": 0.0, "count": 0, "counters": {}})
+        slot["duration"] += s.get("duration", 0.0)
+        slot["count"] += s.get("count", 0)
+        for k, v in (s.get("counters") or {}).items():
+            slot["counters"][k] = slot["counters"].get(k, 0) + v
+        for c in s.get("children") or []:
+            walk(c, path)
+
+    for s in doc.get("spans", []):
+        walk(s, "")
+    return agg
+
+
+def diff_artifacts(base, new, tol: float = 0.25) -> list[SpanDelta]:
+    """Per-span deltas between two artifacts (paths or loaded dicts)."""
+    if not isinstance(base, dict):
+        base = load_artifact(base)
+    if not isinstance(new, dict):
+        new = load_artifact(new)
+    fa, fb = flatten_spans(base), flatten_spans(new)
+    deltas: list[SpanDelta] = []
+    for path in sorted(set(fa) | set(fb)):
+        a, b = fa.get(path), fb.get(path)
+        if a is None:
+            deltas.append(SpanDelta(path, None, b["duration"], "added"))
+            continue
+        if b is None:
+            deltas.append(SpanDelta(path, a["duration"], None, "removed"))
+            continue
+        ta, tb = a["duration"], b["duration"]
+        status = "ok"
+        if max(ta, tb) >= MIN_TIME and ta > 0:
+            rel = (tb - ta) / ta
+            if rel > tol:
+                status = "slower"
+            elif rel < -tol:
+                status = "faster"
+        cdel = {
+            k: (a["counters"].get(k, 0), b["counters"].get(k, 0))
+            for k in set(a["counters"]) | set(b["counters"])
+            if a["counters"].get(k, 0) != b["counters"].get(k, 0)
+        }
+        deltas.append(SpanDelta(path, ta, tb, status, dict(sorted(cdel.items()))))
+    return deltas
+
+
+def render_diff(deltas: list[SpanDelta], tol: float = 0.25) -> str:
+    """Text table of span deltas; regressions and drift listed last."""
+    lines = [
+        f"trace diff (tolerance ±{tol * 100:.0f}% on spans ≥ {MIN_TIME * 1e3:.0f} ms)",
+        f"{'span':<44} {'base':>10} {'new':>10} {'delta':>8}  status",
+    ]
+    flagged: list[str] = []
+    for d in deltas:
+        tb = "-" if d.t_base is None else f"{d.t_base * 1e3:.2f}ms"
+        tn = "-" if d.t_new is None else f"{d.t_new * 1e3:.2f}ms"
+        rel = d.rel
+        rtxt = "-" if rel is None else f"{rel * 100:+.1f}%"
+        lines.append(f"{d.path:<44} {tb:>10} {tn:>10} {rtxt:>8}  {d.status}")
+        if d.status in ("slower", "added", "removed"):
+            flagged.append(f"{d.path}: {d.status}")
+        for k, (va, vb) in d.counter_deltas.items():
+            lines.append(f"{'':<44} counter {k}: {va:g} -> {vb:g}")
+            flagged.append(f"{d.path}: counter {k} drifted {va:g} -> {vb:g}")
+    if flagged:
+        lines.append(f"-- {len(flagged)} flag(s):")
+        lines.extend(f"   {f}" for f in flagged)
+    else:
+        lines.append("-- no regressions within tolerance")
+    return "\n".join(lines)

@@ -16,6 +16,7 @@ import scipy.sparse as sp
 
 from ..core.mesh import IncompleteMesh
 from ..fem.elemental import reference_element
+from ..obs import span
 from .ghost import PartitionLayout
 from .simmpi import SimComm
 
@@ -47,13 +48,14 @@ def distributed_matvec(
 
     # --- pre-exchange: owners send ghost values to the users ----------
     # (an owner reads only entries it owns — legitimate rank-local data)
-    pre: dict[tuple[int, int], np.ndarray] = {}
-    for r in range(nranks):
-        gh, src = layout.ghost_nodes[r], layout.ghost_sources[r]
-        for owner in layout.neighbor_ranks[r]:
-            ids = gh[src == owner]
-            pre[(int(owner), r)] = u[ids]
-    comm.exchange(pre)
+    with span("matvec.exchange.pre", merge=True):
+        pre: dict[tuple[int, int], np.ndarray] = {}
+        for r in range(nranks):
+            gh, src = layout.ghost_nodes[r], layout.ghost_sources[r]
+            for owner in layout.neighbor_ranks[r]:
+                ids = gh[src == owner]
+                pre[(int(owner), r)] = u[ids]
+        comm.exchange(pre)
 
     out = np.zeros_like(u, dtype=np.float64)
     post: dict[tuple[int, int], np.ndarray] = {}
@@ -64,41 +66,49 @@ def distributed_matvec(
         lo, hi = splits[r], splits[r + 1]
         if hi <= lo:
             continue
-        ref = layout.ref_nodes[r]
-        gh, src = layout.ghost_nodes[r], layout.ghost_sources[r]
-        owner = layout.node_owner[ref]
-        # rank-local ghosted input vector: owned entries from the
-        # locally stored distributed vector, ghosts from the payloads
-        u_loc_vec = np.empty(len(ref))
-        mine = owner == r
-        u_loc_vec[mine] = u[ref[mine]]
-        gpos = np.searchsorted(ref, gh)
-        for o in layout.neighbor_ranks[r]:
-            sel = src == o
-            u_loc_vec[gpos[sel]] = pre[(int(o), r)]
-        # restrict the gather operator to this rank's rows and remap
-        # columns into the local index space
-        rows = slice(lo * npe, hi * npe)
-        g_r = g[rows]
-        local_cols = np.searchsorted(ref, g_r.indices)
-        g_loc = sp.csr_matrix(
-            (g_r.data, local_cols, g_r.indptr),
-            shape=(g_r.shape[0], len(ref)),
-        )
-        u_elem = (g_loc @ u_loc_vec).reshape(hi - lo, npe)
-        w_elem = apply_loc(u_elem, h[lo:hi])
-        contrib = g_loc.T @ w_elem.reshape(-1)
-        # owned contributions accumulate locally ...
-        out[ref[mine]] += contrib[mine]
-        # ... ghost contributions return to their owners
-        for o in layout.neighbor_ranks[r]:
-            sel = src == o
-            post[(r, int(o))] = contrib[gpos[sel]]
-        contrib_store[r] = (ref, contrib)
-    comm.exchange(post)
-    # owners accumulate the returned ghost contributions
-    for (src_rank, owner), payload in post.items():
-        gh = layout.ghost_nodes[src_rank]
-        ids = gh[layout.ghost_sources[src_rank] == owner]
-        out[ids] += payload
+        with span("matvec.rank", rank=r):
+            ref = layout.ref_nodes[r]
+            gh, src = layout.ghost_nodes[r], layout.ghost_sources[r]
+            owner = layout.node_owner[ref]
+            with span("matvec.top_down") as tsp:
+                # rank-local ghosted input vector: owned entries from the
+                # locally stored distributed vector, ghosts from payloads
+                u_loc_vec = np.empty(len(ref))
+                mine = owner == r
+                u_loc_vec[mine] = u[ref[mine]]
+                gpos = np.searchsorted(ref, gh)
+                for o in layout.neighbor_ranks[r]:
+                    sel = src == o
+                    u_loc_vec[gpos[sel]] = pre[(int(o), r)]
+                # restrict the gather operator to this rank's rows and
+                # remap columns into the local index space
+                rows = slice(lo * npe, hi * npe)
+                g_r = g[rows]
+                local_cols = np.searchsorted(ref, g_r.indices)
+                g_loc = sp.csr_matrix(
+                    (g_r.data, local_cols, g_r.indptr),
+                    shape=(g_r.shape[0], len(ref)),
+                )
+                u_elem = (g_loc @ u_loc_vec).reshape(hi - lo, npe)
+                tsp.add("local_nodes", len(ref))
+            with span("matvec.leaf") as lsp:
+                w_elem = apply_loc(u_elem, h[lo:hi])
+                lsp.add("elements", hi - lo)
+            with span("matvec.bottom_up") as bsp:
+                contrib = g_loc.T @ w_elem.reshape(-1)
+                # owned contributions accumulate locally ...
+                out[ref[mine]] += contrib[mine]
+                # ... ghost contributions return to their owners
+                for o in layout.neighbor_ranks[r]:
+                    sel = src == o
+                    post[(r, int(o))] = contrib[gpos[sel]]
+                bsp.add("ghost_returns", int(len(gh)))
+            contrib_store[r] = (ref, contrib)
+    with span("matvec.exchange.post", merge=True):
+        comm.exchange(post)
+        # owners accumulate the returned ghost contributions
+        for (src_rank, owner), payload in post.items():
+            gh = layout.ghost_nodes[src_rank]
+            ids = gh[layout.ghost_sources[src_rank] == owner]
+            out[ids] += payload
     return out

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.mesh import IncompleteMesh
+from ..obs import set_gauge, span
 
 __all__ = ["PartitionLayout", "analyze_partition"]
 
@@ -52,6 +53,18 @@ class PartitionLayout:
 
 def analyze_partition(mesh: IncompleteMesh, splits: np.ndarray) -> PartitionLayout:
     """Compute ownership and ghost structure for SFC-contiguous ranges."""
+    with span("partition.analyze") as osp:
+        layout = _analyze_partition(mesh, splits)
+        osp.add("ranks", layout.nranks)
+        osp.add("ghost_total", int(layout.ghost_counts.sum()))
+        osp.add("messages_total", int(layout.message_counts().sum()))
+        for r in range(layout.nranks):
+            set_gauge("partition.ghost_nodes", int(layout.ghost_counts[r]), rank=r)
+            set_gauge("partition.owned_nodes", int(layout.owned_counts[r]), rank=r)
+    return layout
+
+
+def _analyze_partition(mesh: IncompleteMesh, splits: np.ndarray) -> PartitionLayout:
     splits = np.asarray(splits, np.int64)
     nranks = len(splits) - 1
     npe = mesh.npe

@@ -17,9 +17,11 @@ per-rank traffic counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
+
+from ..obs import add as obs_add
 
 __all__ = ["SimComm", "TrafficCounters"]
 
@@ -47,10 +49,18 @@ class TrafficCounters:
 
 
 def _nbytes(obj) -> int:
+    """Payload size in bytes for any message the collectives accept:
+    numpy arrays, scalars, bytes-likes, and (nested) list/tuple/dict
+    containers.  Dict payloads count both keys and values — the
+    rank-local index maps some algorithms ship are real traffic."""
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if isinstance(obj, (list, tuple)):
         return sum(_nbytes(o) for o in obj)
+    if isinstance(obj, dict):
+        return sum(_nbytes(k) + _nbytes(v) for k, v in obj.items())
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
     if obj is None:
         return 0
     return np.asarray(obj).nbytes
@@ -72,6 +82,20 @@ class SimComm:
     def reset_counters(self) -> None:
         self.counters = TrafficCounters.zeros(self.size)
 
+    def _count_p2p(self, src: int, dst: int, nb: int) -> None:
+        """Tally one cross-rank message in the local counters and the
+        global :mod:`repro.obs` registry (no-op while obs is disabled)."""
+        self.counters.bytes_sent[src] += nb
+        self.counters.bytes_recv[dst] += nb
+        self.counters.messages_sent[src] += 1
+        obs_add("comm.bytes_sent", nb, rank=src)
+        obs_add("comm.bytes_recv", nb, rank=dst)
+        obs_add("comm.messages_sent", 1, rank=src)
+
+    def _count_collective(self) -> None:
+        self.counters.collectives += 1
+        obs_add("comm.collectives", 1)
+
     # -- collectives ----------------------------------------------------
 
     def alltoallv(self, send: list[list]) -> list[list]:
@@ -81,18 +105,15 @@ class SimComm:
         """
         if len(send) != self.size or any(len(row) != self.size for row in send):
             raise ValueError("send must be a size x size matrix of buffers")
-        self.counters.collectives += 1
+        self._count_collective()
         recv: list[list] = [[None] * self.size for _ in range(self.size)]
         for src in range(self.size):
             for dst in range(self.size):
                 buf = send[src][dst]
                 if buf is None or (isinstance(buf, np.ndarray) and buf.size == 0):
                     continue
-                nb = _nbytes(buf)
                 if src != dst:
-                    self.counters.bytes_sent[src] += nb
-                    self.counters.bytes_recv[dst] += nb
-                    self.counters.messages_sent[src] += 1
+                    self._count_p2p(src, dst, _nbytes(buf))
                 recv[dst][src] = buf
         return recv
 
@@ -100,21 +121,24 @@ class SimComm:
         """Each rank contributes one value; all ranks get the list."""
         if len(values) != self.size:
             raise ValueError("one value per rank required")
-        self.counters.collectives += 1
+        self._count_collective()
+        sizes = [_nbytes(v) for v in values]
+        total = sum(sizes)
         for r in range(self.size):
-            nb = _nbytes(values[r])
+            nb = sizes[r]
             self.counters.bytes_sent[r] += nb * (self.size - 1)
             self.counters.messages_sent[r] += self.size - 1
-            self.counters.bytes_recv[r] += sum(
-                _nbytes(values[s]) for s in range(self.size) if s != r
-            )
+            self.counters.bytes_recv[r] += total - nb
+            obs_add("comm.bytes_sent", nb * (self.size - 1), rank=r)
+            obs_add("comm.bytes_recv", total - nb, rank=r)
+            obs_add("comm.messages_sent", self.size - 1, rank=r)
         return [list(values) for _ in range(self.size)]
 
     def allreduce(self, values: list, op=np.add):
         """Elementwise reduction of per-rank arrays/scalars."""
         if len(values) != self.size:
             raise ValueError("one value per rank required")
-        self.counters.collectives += 1
+        self._count_collective()
         arrs = [np.asarray(v) for v in values]
         out = arrs[0].copy()
         for a in arrs[1:]:
@@ -123,17 +147,18 @@ class SimComm:
         self.counters.bytes_sent += per
         self.counters.bytes_recv += per
         self.counters.messages_sent += 1
+        for r in range(self.size):
+            obs_add("comm.bytes_sent", per, rank=r)
+            obs_add("comm.bytes_recv", per, rank=r)
+            obs_add("comm.messages_sent", 1, rank=r)
         return [out.copy() for _ in range(self.size)]
 
     def exchange(self, messages: dict[tuple[int, int], np.ndarray]):
         """Batched point-to-point: {(src, dst): array} → same mapping,
         with traffic counted (self-messages are free)."""
-        self.counters.collectives += 1
+        self._count_collective()
         for (src, dst), buf in messages.items():
             if src == dst:
                 continue
-            nb = _nbytes(buf)
-            self.counters.bytes_sent[src] += nb
-            self.counters.bytes_recv[dst] += nb
-            self.counters.messages_sent[src] += 1
+            self._count_p2p(src, dst, _nbytes(buf))
         return messages

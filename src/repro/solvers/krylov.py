@@ -14,6 +14,8 @@ from typing import Callable
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs import span
+
 __all__ = ["KrylovResult", "cg", "bicgstab"]
 
 Operator = Callable[[np.ndarray], np.ndarray]
@@ -44,36 +46,51 @@ def cg(
     rtol: float = 1e-6,
     atol: float = 1e-12,
     maxiter: int | None = None,
+    callback: Callable[[int, float], None] | None = None,
 ) -> KrylovResult:
-    """Preconditioned conjugate gradients for SPD operators."""
-    op = _as_op(A)
-    n = len(b)
-    maxiter = maxiter or 10 * n
-    x = np.zeros(n) if x0 is None else x0.astype(float).copy()
-    r = b - op(x)
-    nmv = 1
-    z = M(r) if M else r
-    p = z.copy()
-    rz = float(r @ z)
-    bnorm = float(np.linalg.norm(b)) or 1.0
-    tol = max(rtol * bnorm, atol)
-    rnorm = float(np.linalg.norm(r))
-    it = 0
-    while rnorm > tol and it < maxiter:
-        Ap = op(p)
-        nmv += 1
-        alpha = rz / float(p @ Ap)
-        x += alpha * p
-        r -= alpha * Ap
-        rnorm = float(np.linalg.norm(r))
-        if rnorm <= tol:
-            it += 1
-            break
+    """Preconditioned conjugate gradients for SPD operators.
+
+    ``callback(it, rnorm)`` is invoked after every iteration; the
+    per-iteration residual history is also attached to the
+    ``solver.cg`` trace span when :mod:`repro.obs` is enabled.
+    """
+    with span("solver.cg") as osp:
+        op = _as_op(A)
+        n = len(b)
+        maxiter = maxiter or 10 * n
+        x = np.zeros(n) if x0 is None else x0.astype(float).copy()
+        r = b - op(x)
+        nmv = 1
         z = M(r) if M else r
-        rz_new = float(r @ z)
-        p = z + (rz_new / rz) * p
-        rz = rz_new
-        it += 1
+        p = z.copy()
+        rz = float(r @ z)
+        bnorm = float(np.linalg.norm(b)) or 1.0
+        tol = max(rtol * bnorm, atol)
+        rnorm = float(np.linalg.norm(r))
+        residuals = [rnorm]
+        it = 0
+        while rnorm > tol and it < maxiter:
+            with span("solver.iteration", merge=True) as isp:
+                Ap = op(p)
+                nmv += 1
+                alpha = rz / float(p @ Ap)
+                x += alpha * p
+                r -= alpha * Ap
+                rnorm = float(np.linalg.norm(r))
+                isp.add("matvecs", 1)
+            it += 1
+            residuals.append(rnorm)
+            if callback is not None:
+                callback(it, rnorm)
+            if rnorm <= tol:
+                break
+            z = M(r) if M else r
+            rz_new = float(r @ z)
+            p = z + (rz_new / rz) * p
+            rz = rz_new
+        osp.add("iterations", it)
+        osp.add("matvecs", nmv)
+        osp.set("residual_history", residuals)
     return KrylovResult(x, it, rnorm, rnorm <= tol, nmv)
 
 
@@ -85,55 +102,75 @@ def bicgstab(
     rtol: float = 1e-6,
     atol: float = 1e-12,
     maxiter: int | None = None,
+    callback: Callable[[int, float], None] | None = None,
 ) -> KrylovResult:
-    """Preconditioned BiCGStab for general (nonsymmetric) operators."""
-    op = _as_op(A)
-    n = len(b)
-    maxiter = maxiter or 10 * n
-    x = np.zeros(n) if x0 is None else x0.astype(float).copy()
-    r = b - op(x)
-    nmv = 1
-    r_hat = r.copy()
-    rho = alpha = omega = 1.0
-    v = np.zeros(n)
-    p = np.zeros(n)
-    bnorm = float(np.linalg.norm(b)) or 1.0
-    tol = max(rtol * bnorm, atol)
-    rnorm = float(np.linalg.norm(r))
-    it = 0
-    while rnorm > tol and it < maxiter:
-        rho_new = float(r_hat @ r)
-        if rho_new == 0.0:
-            break  # breakdown
-        if it == 0:
-            p = r.copy()
-        else:
-            beta = (rho_new / rho) * (alpha / omega)
-            p = r + beta * (p - omega * v)
-        phat = M(p) if M else p
-        v = op(phat)
-        nmv += 1
-        denom = float(r_hat @ v)
-        if denom == 0.0:
-            break
-        alpha = rho_new / denom
-        s = r - alpha * v
-        if np.linalg.norm(s) <= tol:
-            x += alpha * phat
-            r = s
-            rnorm = float(np.linalg.norm(r))
-            it += 1
-            break
-        shat = M(s) if M else s
-        t = op(shat)
-        nmv += 1
-        tt = float(t @ t)
-        omega = float(t @ s) / tt if tt > 0 else 0.0
-        x += alpha * phat + omega * shat
-        r = s - omega * t
-        rho = rho_new
+    """Preconditioned BiCGStab for general (nonsymmetric) operators.
+
+    ``callback(it, rnorm)`` is invoked after every iteration; the
+    per-iteration residual history is also attached to the
+    ``solver.bicgstab`` trace span when :mod:`repro.obs` is enabled.
+    """
+    with span("solver.bicgstab") as osp:
+        op = _as_op(A)
+        n = len(b)
+        maxiter = maxiter or 10 * n
+        x = np.zeros(n) if x0 is None else x0.astype(float).copy()
+        r = b - op(x)
+        nmv = 1
+        r_hat = r.copy()
+        rho = alpha = omega = 1.0
+        v = np.zeros(n)
+        p = np.zeros(n)
+        bnorm = float(np.linalg.norm(b)) or 1.0
+        tol = max(rtol * bnorm, atol)
         rnorm = float(np.linalg.norm(r))
-        it += 1
-        if omega == 0.0:
-            break
+        residuals = [rnorm]
+        it = 0
+        while rnorm > tol and it < maxiter:
+            with span("solver.iteration", merge=True) as isp:
+                rho_new = float(r_hat @ r)
+                if rho_new == 0.0:
+                    break  # breakdown
+                if it == 0:
+                    p = r.copy()
+                else:
+                    beta = (rho_new / rho) * (alpha / omega)
+                    p = r + beta * (p - omega * v)
+                phat = M(p) if M else p
+                v = op(phat)
+                nmv += 1
+                isp.add("matvecs", 1)
+                denom = float(r_hat @ v)
+                if denom == 0.0:
+                    break
+                alpha = rho_new / denom
+                s = r - alpha * v
+                if np.linalg.norm(s) <= tol:
+                    x += alpha * phat
+                    r = s
+                    rnorm = float(np.linalg.norm(r))
+                    it += 1
+                    residuals.append(rnorm)
+                    if callback is not None:
+                        callback(it, rnorm)
+                    break
+                shat = M(s) if M else s
+                t = op(shat)
+                nmv += 1
+                isp.add("matvecs", 1)
+                tt = float(t @ t)
+                omega = float(t @ s) / tt if tt > 0 else 0.0
+                x += alpha * phat + omega * shat
+                r = s - omega * t
+                rho = rho_new
+                rnorm = float(np.linalg.norm(r))
+            it += 1
+            residuals.append(rnorm)
+            if callback is not None:
+                callback(it, rnorm)
+            if omega == 0.0:
+                break
+        osp.add("iterations", it)
+        osp.add("matvecs", nmv)
+        osp.set("residual_history", residuals)
     return KrylovResult(x, it, rnorm, rnorm <= tol, nmv)

@@ -7,14 +7,10 @@ from hypothesis import strategies as st
 
 from repro.core.assembly import assemble, assemble_traversal
 from repro.core.domain import Domain
-from repro.core.matvec import (
-    MapBasedMatVec,
-    TraversalPlan,
-    TraversalTimers,
-    traversal_matvec,
-)
-from repro.core.mesh import build_mesh, build_uniform_mesh
-from repro.geometry.primitives import BoxRetain, SphereCarve
+from repro import obs
+from repro.core.matvec import MapBasedMatVec, TraversalPlan, traversal_matvec
+from repro.core.mesh import build_mesh
+from repro.geometry.primitives import SphereCarve
 
 
 @pytest.fixture(scope="module")
@@ -56,12 +52,24 @@ def test_traversal_matches_map_3d_p2(carved_mesh_3d_p2):
     )
 
 
-def test_traversal_timers_accumulate(carved_mesh_2d):
+def test_traversal_phase_spans_accumulate(carved_mesh_2d):
+    """The obs spans that replaced the old TraversalTimers struct record
+    every traversal phase with positive accumulated durations."""
     mesh = carved_mesh_2d
-    t = TraversalTimers()
-    traversal_matvec(mesh, np.ones(mesh.n_nodes), timers=t)
-    assert t.top_down > 0 and t.leaf > 0 and t.bottom_up > 0
-    assert t.total == pytest.approx(t.top_down + t.leaf + t.bottom_up)
+    obs.reset()
+    obs.enable()
+    try:
+        traversal_matvec(mesh, np.ones(mesh.n_nodes))
+    finally:
+        obs.disable()
+    roots = obs.TRACER.roots
+    assert len(roots) == 1 and roots[0].name == "matvec.traversal"
+    phases = {c.name: c for c in roots[0].children}
+    for name in ("matvec.top_down", "matvec.leaf", "matvec.bottom_up"):
+        assert name in phases, f"missing phase span {name}"
+        assert phases[name].duration > 0
+        assert phases[name].count > 1  # merged across many invocations
+    assert phases["matvec.leaf"].counters["elements"] == mesh.n_elem
 
 
 def test_traversal_plan_reuse(carved_mesh_2d):
