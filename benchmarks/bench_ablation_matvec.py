@@ -10,12 +10,21 @@ phase breakdown, and asserts the two agree to machine precision — the
 correctness half of the claim that matters for the reproduction.
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from repro import Domain, build_mesh, obs
 from repro.core.matvec import MapBasedMatVec, TraversalPlan, traversal_matvec
 from repro.geometry import SphereCarve
+from repro.parallel import (
+    SimComm,
+    analyze_partition,
+    distributed_matvec,
+    partition_mesh,
+)
+from repro.parallel.ghost import ExchangePlan, exchange_plan
 
 from _util import ResultTable
 
@@ -72,3 +81,51 @@ def test_traversal_vs_map_ablation(benchmark, mesh):
     assert np.allclose(y_tr, y_map, atol=1e-10)
     assert phases["matvec.top_down"]["duration"] > 0
     assert phases["matvec.leaf"]["duration"] > 0
+
+
+def test_plan_reuse_vs_rebuild(mesh):
+    """Operator-plan ablation: 50 repeated distributed MATVEC applies
+    with the cached :class:`ExchangePlan` vs rebuilding the plan on
+    every call (the pre-plan-layer behaviour, which re-derived exchange
+    dicts and re-CSR'd the gather per apply)."""
+    nranks, repeats = 8, 50
+    layout = analyze_partition(mesh, partition_mesh(mesh, nranks))
+    comm = SimComm(nranks)
+    rng = np.random.default_rng(1)
+    u = rng.standard_normal(mesh.n_nodes)
+
+    plan = exchange_plan(mesh, layout)  # built once, cached on the layout
+    y_cached = distributed_matvec(mesh, layout, u, comm, plan=plan)  # warm-up
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        y_cached = distributed_matvec(mesh, layout, u, comm, plan=plan)
+    t_cached = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        y_rebuilt = distributed_matvec(
+            mesh, layout, u, comm, plan=ExchangePlan(mesh, layout)
+        )
+    t_rebuild = time.perf_counter() - t0
+
+    speedup = t_rebuild / t_cached
+    t = ResultTable(
+        "plan_reuse_matvec",
+        f"Operator-plan reuse: {repeats} distributed MATVEC applies "
+        f"({mesh.n_elem} elements, {nranks} ranks)",
+    )
+    t.row(f"cached plan   : {t_cached / repeats * 1e3:8.3f} ms/apply")
+    t.row(f"rebuild/call  : {t_rebuild / repeats * 1e3:8.3f} ms/apply")
+    t.row(f"speedup       : {speedup:.2f}x")
+    t.record(
+        column="plan_reuse_vs_rebuild",
+        nranks=nranks,
+        repeats=repeats,
+        n_elem=mesh.n_elem,
+        cached_seconds=t_cached,
+        rebuild_seconds=t_rebuild,
+        speedup=speedup,
+    )
+    t.save()
+    assert np.array_equal(y_cached, y_rebuilt)
+    assert speedup >= 3.0, f"plan reuse speedup {speedup:.2f}x < 3x"

@@ -8,6 +8,7 @@ from .faces import extract_boundary_faces
 from .mesh import IncompleteMesh, build_mesh, build_uniform_mesh
 from .nodes import MeshNodes, build_nodes
 from .octant import OctantSet, max_level
+from .plan import OperatorContext, TraversalPlan, mesh_fingerprint, operator_context
 from .sfc import HilbertOrder, MortonOrder, get_curve
 from .treesort import linearize, tree_sort
 
@@ -31,6 +32,10 @@ __all__ = [
     "build_mesh",
     "build_uniform_mesh",
     "extract_boundary_faces",
+    "OperatorContext",
+    "TraversalPlan",
+    "operator_context",
+    "mesh_fingerprint",
     "dist_tree_sort",
     "distributed_construct_constrained",
 ]

@@ -23,18 +23,18 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from ..fem.elemental import reference_element
 from ..obs import span
-from .matvec import TraversalPlan
 from .mesh import IncompleteMesh
+from .plan import operator_context
 
 __all__ = ["assemble", "assemble_traversal", "elemental_blocks"]
 
 
 def elemental_blocks(mesh: IncompleteMesh, kind="stiffness", nquad=None) -> np.ndarray:
     """Dense per-element matrices ``(n_elem, npe, npe)``."""
-    ref = reference_element(mesh.p, mesh.dim, nquad)
-    h = mesh.element_sizes()
+    ctx = operator_context(mesh)
+    ref = ctx.ref(nquad)
+    h = ctx.h
     if callable(kind):
         return kind(h)
     if kind == "stiffness":
@@ -54,7 +54,7 @@ def assemble(mesh: IncompleteMesh, kind="stiffness", blocks=None) -> sp.csr_matr
             (blocks, np.arange(n_elem), np.arange(n_elem + 1)),
             shape=(n_elem * npe, n_elem * npe),
         )
-        g = mesh.nodes.gather
+        g = operator_context(mesh).gather
         A = (g.T @ (B @ g)).tocsr()
         A.sum_duplicates()
         osp.add("elements", n_elem)
@@ -75,11 +75,11 @@ def assemble_traversal(
     with span("assembly.traversal") as osp:
         if blocks is None:
             blocks = elemental_blocks(mesh, kind)
-        plan = TraversalPlan(mesh)
+        plan = operator_context(mesh).traversal
         n = mesh.n_nodes
         rows_l, cols_l, vals_l = [], [], []
         for e in range(mesh.n_elem):
-            slot, gid, w = plan.slot_idx[e], plan.slot_gid[e], plan.slot_w[e]
+            slot, gid, w = plan.rows(e)
             Ke = blocks[e]
             # entry (i, j) of Ke contributes w_a * w_b * Ke[i, j] for
             # every (a: slot==i), (b: slot==j) pair

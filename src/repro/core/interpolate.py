@@ -17,8 +17,7 @@ import scipy.sparse as sp
 from ..fem.basis import LagrangeBasis, local_node_offsets
 from .mesh import IncompleteMesh
 from .octant import max_level
-from .sfc import get_curve
-from .treesort import block_ends
+from .plan import operator_context
 
 __all__ = ["locate_points", "evaluation_matrix", "evaluate_field", "transfer_field"]
 
@@ -31,9 +30,8 @@ def locate_points(mesh: IncompleteMesh, pts: np.ndarray) -> np.ndarray:
     """
     dim = mesh.dim
     m = max_level(dim)
-    oracle = get_curve(mesh.curve)
-    keys = oracle.keys(mesh.leaves)
-    ends = block_ends(keys, mesh.leaves.levels, dim)
+    plan = operator_context(mesh).traversal
+    oracle, keys, ends = plan.oracle, plan.keys, plan.ends
     # scale to fractional anchor units, probe the 2^dim surrounding cells
     frac = np.asarray(pts, float) / mesh.domain.scale * (1 << m)
     dirs = 2 * local_node_offsets(1, dim) - 1
@@ -79,7 +77,7 @@ def evaluation_matrix(
     s = mesh.leaves.sizes.astype(np.int64)[safe]
     xi = np.clip((frac - a) / s[:, None], 0.0, 1.0)
     N = basis.eval(xi)
-    g = mesh.nodes.gather.tocsr()
+    g = operator_context(mesh).gather
     npe = mesh.npe
     rows, cols, vals = [], [], []
     indptr, indices, data = g.indptr, g.indices, g.data

@@ -20,18 +20,25 @@ Two implementations, verified against each other:
   :mod:`repro.obs`), merge spans ``matvec.top_down`` / ``matvec.leaf``
   / ``matvec.bottom_up`` accumulate the phase breakdown used in the
   scaling figures.
+
+Both obtain their per-mesh artifacts — gather/scatter CSR, element
+sizes, the flattened traversal slot table — from the shared
+:class:`repro.core.plan.OperatorContext`, so repeated operator
+construction on the same mesh re-derives nothing.  The traversal leaf
+phase is vectorized: maximal SFC-contiguous blocks of elements with
+identity slot rows (no hanging slots — the common case away from level
+transitions) are applied as one batched matmul instead of per-element
+Python calls.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..fem.elemental import reference_element
 from ..obs import span
 from .mesh import IncompleteMesh
 from .octant import max_level
-from .sfc import get_curve
-from .treesort import block_ends
+from .plan import OperatorContext, TraversalPlan, operator_context
 
 __all__ = ["MapBasedMatVec", "traversal_matvec", "TraversalPlan"]
 
@@ -44,10 +51,17 @@ class MapBasedMatVec:
     operators (e.g. the Navier–Stokes blocks).
     """
 
-    def __init__(self, mesh: IncompleteMesh, kind="stiffness", nquad=None):
+    def __init__(
+        self,
+        mesh: IncompleteMesh,
+        kind="stiffness",
+        nquad=None,
+        ctx: OperatorContext | None = None,
+    ):
         self.mesh = mesh
-        self.ref = reference_element(mesh.p, mesh.dim, nquad)
-        self.h = mesh.element_sizes()
+        self.ctx = ctx if ctx is not None else operator_context(mesh)
+        self.ref = self.ctx.ref(nquad)
+        self.h = self.ctx.h
         if callable(kind):
             self._apply_loc = kind
         elif kind == "stiffness":
@@ -56,8 +70,8 @@ class MapBasedMatVec:
             self._apply_loc = lambda u, h: self.ref.apply_mass(u, h)
         else:
             raise ValueError(f"unknown kind {kind!r}")
-        self._gather = mesh.nodes.gather
-        self._scatter = self._gather.T.tocsr()
+        self._gather = self.ctx.gather
+        self._scatter = self.ctx.scatter
         self._flops = mesh.n_elem * self.ref.matvec_flops_per_element()
 
     def __call__(self, u: np.ndarray) -> np.ndarray:
@@ -88,42 +102,6 @@ class MapBasedMatVec:
         return self.mesh.n_elem * self.ref.matvec_bytes_per_element()
 
 
-class TraversalPlan:
-    """Precomputed per-leaf slot tables for the traversal MATVEC.
-
-    For each element, the (slot, gid, weight) triples of its local
-    interpolation rows — identity entries for ordinary slots, coarse
-    donor weights for hanging slots — extracted once from the gather
-    operator.
-    """
-
-    def __init__(self, mesh: IncompleteMesh):
-        self.mesh = mesh
-        g = mesh.nodes.gather.tocsr()
-        npe = mesh.npe
-        n_elem = mesh.n_elem
-        self.slot_idx: list[np.ndarray] = []
-        self.slot_gid: list[np.ndarray] = []
-        self.slot_w: list[np.ndarray] = []
-        indptr, indices, data = g.indptr, g.indices, g.data
-        for e in range(n_elem):
-            lo, hi = indptr[e * npe], indptr[(e + 1) * npe]
-            rows = np.repeat(
-                np.arange(npe),
-                np.diff(indptr[e * npe : (e + 1) * npe + 1]),
-            )
-            self.slot_idx.append(rows)
-            self.slot_gid.append(indices[lo:hi].astype(np.int64))
-            self.slot_w.append(data[lo:hi])
-        oracle = get_curve(mesh.curve)
-        self.keys = oracle.keys(mesh.leaves)
-        self.ends = block_ends(self.keys, mesh.leaves.levels, mesh.dim)
-        self.coords = mesh.nodes.coords  # 2p-scaled units
-        self.levels = mesh.leaves.levels.astype(np.int64)
-        self.h = mesh.element_sizes()
-        self.oracle = oracle
-
-
 def traversal_matvec(
     mesh: IncompleteMesh,
     u: np.ndarray,
@@ -140,9 +118,10 @@ def traversal_matvec(
     The top-down / leaf / bottom-up phase breakdown is published as
     merge spans under a ``matvec.traversal`` span when tracing is on.
     """
+    ctx = operator_context(mesh)
     if plan is None:
-        plan = TraversalPlan(mesh)
-    ref = reference_element(mesh.p, mesh.dim)
+        plan = ctx.traversal
+    ref = ctx.ref()
     if kind == "stiffness":
         ker, pw = ref.K_ref, mesh.dim - 2
     elif kind == "mass":
@@ -169,7 +148,7 @@ def traversal_matvec(
 
     def _leaf_apply(e: int) -> None:
         with span("matvec.leaf", merge=True) as lsp:
-            gid = plan.slot_gid[e]
+            sidx, gid, sw = plan.rows(e)
             # locate each needed node in the deepest frame that carries it
             val_in = np.empty(len(gid))
             frame_of = np.empty(len(gid), np.int64)
@@ -194,15 +173,34 @@ def traversal_matvec(
             if len(todo):
                 raise RuntimeError("traversal path missing elemental nodes")
             u_loc = np.zeros(ref.npe)
-            np.add.at(u_loc, plan.slot_idx[e], plan.slot_w[e] * val_in)
+            np.add.at(u_loc, sidx, sw * val_in)
             w_loc = (h[e] ** pw) * (ker @ u_loc)
-            contrib = plan.slot_w[e] * w_loc[plan.slot_idx[e]]
+            contrib = sw * w_loc[sidx]
             for fi in np.unique(frame_of):
                 sel = frame_of == fi
                 np.add.at(frames[fi][2], pos_of[sel], contrib[sel])
             lsp.add("elements", 1)
 
+    def _leaf_apply_batch(a: int, b: int) -> None:
+        """Apply an SFC-contiguous block of identity (non-hanging)
+        elements as one batched matmul against the current bucket."""
+        with span("matvec.leaf", merge=True) as lsp:
+            ids_f, vals_f, out_f = frames[-1]
+            gid = plan.identity_gids(a, b)
+            pos = np.searchsorted(ids_f, gid)
+            posc = np.clip(pos, 0, max(len(ids_f) - 1, 0))
+            if len(ids_f) == 0 or not np.all(ids_f[posc] == gid):
+                raise RuntimeError("traversal path missing elemental nodes")
+            u_loc = vals_f[posc]
+            w_loc = (h[a:b] ** pw)[:, None] * (u_loc @ ker.T)
+            np.add.at(out_f, posc, w_loc)
+            lsp.add("elements", b - a)
+
     def recurse(lo: int, hi: int, box_lo: np.ndarray, level: int) -> None:
+        a_own, b_own = max(lo, e_lo), min(hi, e_hi)
+        if a_own < b_own and plan.all_identity(a_own, b_own):
+            _leaf_apply_batch(a_own, b_own)
+            return
         if hi - lo == 1 and levels[lo] == level:
             _leaf_apply(lo)
             return

@@ -30,7 +30,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..core.mesh import IncompleteMesh
-from ..fem.elemental import reference_element
+from ..core.plan import operator_context
 from ..obs import span
 
 __all__ = ["NavierStokesProblem", "big_gather", "NSResult"]
@@ -38,22 +38,12 @@ __all__ = ["NavierStokesProblem", "big_gather", "NSResult"]
 
 def big_gather(mesh: IncompleteMesh, nfields: int) -> sp.csr_matrix:
     """Multi-field gather: global ``[f0 | f1 | ...]`` vectors to
-    element-local field-major slot vectors (hanging-aware)."""
-    g = mesh.nodes.gather.tocoo()
-    npe = mesh.npe
-    n = mesh.n_nodes
-    ndof = nfields * npe
-    e = g.row // npe
-    i = g.row % npe
-    rows, cols, data = [], [], []
-    for f in range(nfields):
-        rows.append(e * ndof + f * npe + i)
-        cols.append(g.col + f * n)
-        data.append(g.data)
-    return sp.csr_matrix(
-        (np.concatenate(data), (np.concatenate(rows), np.concatenate(cols))),
-        shape=(mesh.n_elem * ndof, nfields * n),
-    )
+    element-local field-major slot vectors (hanging-aware).
+
+    Built and cached by the mesh's shared
+    :class:`repro.core.plan.OperatorContext`.
+    """
+    return operator_context(mesh).big_gather(nfields)
 
 
 @dataclass
@@ -93,8 +83,9 @@ class NavierStokesProblem:
         self.grad_div = float(grad_div)
         self.dim = mesh.dim
         self.n = mesh.n_nodes
-        self.ref = reference_element(mesh.p, mesh.dim)
-        self.h = mesh.element_sizes()
+        self.ctx = operator_context(mesh)
+        self.ref = self.ctx.ref()
+        self.h = self.ctx.h
         pts = mesh.node_coords()
         mask, vals = velocity_bc(pts)
         self.vmask = np.asarray(mask, bool)
@@ -104,7 +95,7 @@ class NavierStokesProblem:
         self.ppin = (
             np.zeros(self.n, bool) if pressure_pin is None else np.asarray(pressure_pin, bool)
         )
-        self._G = big_gather(mesh, self.dim + 1)
+        self._G = self.ctx.big_gather(self.dim + 1)
         self._GT = self._G.T.tocsr()
         # big fixed-dof mask over [u components | p]
         self.fixed = np.concatenate(
@@ -118,7 +109,7 @@ class NavierStokesProblem:
     # -- elemental blocks ------------------------------------------------
 
     def _element_advection(self, U: np.ndarray) -> np.ndarray:
-        g = self.mesh.nodes.gather
+        g = self.ctx.gather
         npe = self.mesh.npe
         a = np.empty((self.mesh.n_elem, self.dim))
         for k in range(self.dim):
@@ -324,7 +315,7 @@ class NavierStokesProblem:
         """L2 norm of ∇·u (diagnostic for incompressibility)."""
         mesh = self.mesh
         ref, dim, npe = self.ref, self.dim, mesh.npe
-        g = mesh.nodes.gather
+        g = self.ctx.gather
         h = self.h
         div_q = np.zeros((mesh.n_elem, ref.nq))
         for k in range(dim):

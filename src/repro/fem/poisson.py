@@ -17,7 +17,7 @@ import scipy.sparse as sp
 from ..core.assembly import assemble
 from ..core.matvec import MapBasedMatVec
 from ..core.mesh import IncompleteMesh
-from ..fem.elemental import reference_element
+from ..core.plan import operator_context
 from ..solvers.krylov import cg
 from ..solvers.precond import jacobi
 
@@ -30,8 +30,9 @@ def quad_points(mesh: IncompleteMesh, nquad: int | None = None):
     Returns ``(x, w, ref)`` with ``x`` of shape ``(n_elem, nq, dim)``
     and ``w`` of shape ``(n_elem, nq)`` (already scaled by h^dim).
     """
-    ref = reference_element(mesh.p, mesh.dim, nquad)
-    h = mesh.element_sizes()
+    ctx = operator_context(mesh)
+    ref = ctx.ref(nquad)
+    h = ctx.h
     lo, _ = mesh.leaves.physical_bounds(mesh.domain.scale)
     x = lo[:, None, :] + ref.qpts[None, :, :] * h[:, None, None]
     w = ref.qwts[None, :] * (h**mesh.dim)[:, None]
@@ -45,13 +46,13 @@ def load_vector(mesh: IncompleteMesh, f: Callable | float, nquad=None) -> np.nda
         x.reshape(-1, mesh.dim)
     ).reshape(x.shape[:2])
     b_loc = np.einsum("eq,qi,eq->ei", fv, ref.N, w)
-    return mesh.nodes.gather.T @ b_loc.reshape(-1)
+    return operator_context(mesh).scatter @ b_loc.reshape(-1)
 
 
 def l2_error(mesh: IncompleteMesh, u_h: np.ndarray, exact: Callable, nquad=None) -> float:
     """‖u_h − u‖_L2 over the retained (voxelated) domain."""
     x, w, ref = quad_points(mesh, nquad or mesh.p + 2)
-    u_loc = (mesh.nodes.gather @ u_h).reshape(mesh.n_elem, mesh.npe)
+    u_loc = (operator_context(mesh).gather @ u_h).reshape(mesh.n_elem, mesh.npe)
     uh_q = u_loc @ ref.N.T
     ue_q = exact(x.reshape(-1, mesh.dim)).reshape(uh_q.shape)
     return float(np.sqrt(np.sum(w * (uh_q - ue_q) ** 2)))
@@ -159,14 +160,13 @@ class PoissonProblem:
 
         # Jacobi preconditioner from the elemental diagonal, gathered
         # without assembly: diag(A) = gatherT diag(blocks) over slots
-        from ..fem.elemental import reference_element
-
-        ref = reference_element(mesh.p, mesh.dim)
-        h = mesh.element_sizes()
+        ctx = operator_context(mesh)
+        ref = ctx.ref()
+        h = ctx.h
         dloc = (
             np.diag(ref.K_ref)[None, :] * (h ** (mesh.dim - 2))[:, None]
         ).reshape(-1)
-        g = mesh.nodes.gather
+        g = ctx.gather
         diag = g.T.multiply(g.T) @ dloc  # sum of w_ig^2 * K_ii per node
         diag = np.asarray(diag).ravel()
         diag = np.where(free & (diag > 0), diag, 1.0)

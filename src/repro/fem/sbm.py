@@ -21,6 +21,7 @@ import scipy.sparse as sp
 
 from ..core.faces import extract_boundary_faces
 from ..core.mesh import IncompleteMesh
+from ..core.plan import operator_context
 from ..fem.basis import LagrangeBasis
 from ..fem.quadrature import tensor_rule
 
@@ -71,7 +72,7 @@ def sbm_terms(
             np.concatenate([sub_faces.side, dom_faces.side]),
         )
     n_elem = mesh.n_elem
-    h_all = mesh.element_sizes()
+    h_all = operator_context(mesh).h
     lo_all, _ = mesh.leaves.physical_bounds(mesh.domain.scale)
     pred = mesh.domain.predicate
 
@@ -130,7 +131,7 @@ def sbm_terms(
         shape=(n_elem * npe, n_elem * npe),
         blocksize=(npe, npe),
     )
-    gth = mesh.nodes.gather
+    gth = operator_context(mesh).gather
     A_s = (gth.T @ (Bface @ gth)).tocsr()
     b_s = gth.T @ rhs_loc.reshape(-1)
     return A_s, b_s

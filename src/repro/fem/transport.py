@@ -21,7 +21,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..core.mesh import IncompleteMesh
-from ..fem.elemental import reference_element
+from ..core.plan import operator_context
 from ..fem.poisson import load_vector
 
 __all__ = ["TransportProblem", "element_velocity"]
@@ -29,7 +29,7 @@ __all__ = ["TransportProblem", "element_velocity"]
 
 def element_velocity(mesh: IncompleteMesh, vel_nodes: np.ndarray) -> np.ndarray:
     """Element-wise mean velocity from nodal values ``(n_nodes, dim)``."""
-    g = mesh.nodes.gather
+    g = operator_context(mesh).gather
     npe = mesh.npe
     out = np.empty((mesh.n_elem, mesh.dim))
     for k in range(mesh.dim):
@@ -81,9 +81,10 @@ class TransportProblem:
 
     def _build(self) -> None:
         mesh = self.mesh
-        ref = reference_element(mesh.p, mesh.dim)
+        ctx = operator_context(mesh)
+        ref = ctx.ref()
         dim, npe = mesh.dim, mesh.npe
-        h = mesh.element_sizes()
+        h = ctx.h
         a = element_velocity(mesh, self.vel_nodes)  # (n_elem, dim)
         amag = np.linalg.norm(a, axis=1)
         kap = self.kappa
@@ -106,7 +107,7 @@ class TransportProblem:
         self._blocks_lhs = M / self.dt + K + C + S_adv + S_mass
         self._blocks_mass = M / self.dt + S_mass  # multiplies c_old
 
-        g = mesh.nodes.gather
+        g = ctx.gather
         B = sp.bsr_matrix(
             (self._blocks_lhs, np.arange(mesh.n_elem), np.arange(mesh.n_elem + 1)),
             shape=(mesh.n_elem * npe, mesh.n_elem * npe),

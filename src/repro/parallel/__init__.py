@@ -14,6 +14,8 @@ __all__ = [
     "partition_mesh",
     "PartitionLayout",
     "analyze_partition",
+    "ExchangePlan",
+    "exchange_plan",
     "distributed_matvec",
     "MachineModel",
     "FRONTERA",
@@ -26,6 +28,8 @@ _LAZY = {
     "partition_mesh": ("partition", "partition_mesh"),
     "PartitionLayout": ("ghost", "PartitionLayout"),
     "analyze_partition": ("ghost", "analyze_partition"),
+    "ExchangePlan": ("ghost", "ExchangePlan"),
+    "exchange_plan": ("ghost", "exchange_plan"),
     "distributed_matvec": ("dist_matvec", "distributed_matvec"),
     "MachineModel": ("perfmodel", "MachineModel"),
     "FRONTERA": ("perfmodel", "FRONTERA"),

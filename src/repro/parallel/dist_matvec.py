@@ -7,17 +7,21 @@ payloads it received, works entirely in a rank-local index space
 travel back to their owners — the two exchange legs of §3.5, both
 counted by :class:`SimComm`.  The assembled global result is
 bit-identical to the serial MATVEC (asserted in tests).
+
+All per-mesh/per-partition derivations — the rank-restricted gather
+CSRs, the send/recv index arrays of both exchange legs — live in the
+persistent :class:`repro.parallel.ghost.ExchangePlan` (cached on the
+layout behind the mesh content fingerprint), so Krylov solvers calling
+this once per iteration pay only for the apply, not for plan rebuilds.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..core.mesh import IncompleteMesh
-from ..fem.elemental import reference_element
 from ..obs import span
-from .ghost import PartitionLayout
+from .ghost import ExchangePlan, PartitionLayout, exchange_plan
 from .simmpi import SimComm
 
 __all__ = ["distributed_matvec"]
@@ -29,86 +33,68 @@ def distributed_matvec(
     u: np.ndarray,
     comm: SimComm,
     kind: str = "stiffness",
+    plan: ExchangePlan | None = None,
 ) -> np.ndarray:
-    """One distributed MATVEC; returns the assembled global result."""
+    """One distributed MATVEC; returns the assembled global result.
+
+    ``plan`` is the persistent exchange plan; by default the cached plan
+    of ``(mesh, layout)`` is used (built on first call).
+    """
     if comm.size != layout.nranks:
         raise ValueError("communicator size must match the partition")
-    ref_el = reference_element(mesh.p, mesh.dim)
+    if plan is None:
+        plan = exchange_plan(mesh, layout)
+    ref_el = plan.ctx.ref()
     if kind == "stiffness":
         apply_loc = ref_el.apply_stiffness
     elif kind == "mass":
         apply_loc = ref_el.apply_mass
     else:
         raise ValueError(f"unknown kind {kind!r}")
-    npe = mesh.npe
-    g = mesh.nodes.gather.tocsr()
-    h = mesh.element_sizes()
+    npe = plan.npe
+    h = plan.h
     splits = layout.splits
     nranks = comm.size
 
     # --- pre-exchange: owners send ghost values to the users ----------
     # (an owner reads only entries it owns — legitimate rank-local data)
     with span("matvec.exchange.pre", merge=True):
-        pre: dict[tuple[int, int], np.ndarray] = {}
-        for r in range(nranks):
-            gh, src = layout.ghost_nodes[r], layout.ghost_sources[r]
-            for owner in layout.neighbor_ranks[r]:
-                ids = gh[src == owner]
-                pre[(int(owner), r)] = u[ids]
+        pre = {key: u[ids] for key, ids in plan.send_ids.items()}
         comm.exchange(pre)
 
     out = np.zeros_like(u, dtype=np.float64)
     post: dict[tuple[int, int], np.ndarray] = {}
-    # per-rank contributions to owned entries of *other* ranks are
-    # buffered here with their local payloads until the post exchange
-    contrib_store: dict[int, tuple[np.ndarray, np.ndarray]] = {}
     for r in range(nranks):
         lo, hi = splits[r], splits[r + 1]
         if hi <= lo:
             continue
         with span("matvec.rank", rank=r):
             ref = layout.ref_nodes[r]
-            gh, src = layout.ghost_nodes[r], layout.ghost_sources[r]
-            owner = layout.node_owner[ref]
+            mine = plan.mine[r]
             with span("matvec.top_down") as tsp:
                 # rank-local ghosted input vector: owned entries from the
                 # locally stored distributed vector, ghosts from payloads
                 u_loc_vec = np.empty(len(ref))
-                mine = owner == r
-                u_loc_vec[mine] = u[ref[mine]]
-                gpos = np.searchsorted(ref, gh)
+                u_loc_vec[mine] = u[plan.owned_ids[r]]
                 for o in layout.neighbor_ranks[r]:
-                    sel = src == o
-                    u_loc_vec[gpos[sel]] = pre[(int(o), r)]
-                # restrict the gather operator to this rank's rows and
-                # remap columns into the local index space
-                rows = slice(lo * npe, hi * npe)
-                g_r = g[rows]
-                local_cols = np.searchsorted(ref, g_r.indices)
-                g_loc = sp.csr_matrix(
-                    (g_r.data, local_cols, g_r.indptr),
-                    shape=(g_r.shape[0], len(ref)),
-                )
-                u_elem = (g_loc @ u_loc_vec).reshape(hi - lo, npe)
+                    key = (int(o), r)
+                    u_loc_vec[plan.ghost_pos[key]] = pre[key]
+                u_elem = (plan.g_loc[r] @ u_loc_vec).reshape(hi - lo, npe)
                 tsp.add("local_nodes", len(ref))
             with span("matvec.leaf") as lsp:
                 w_elem = apply_loc(u_elem, h[lo:hi])
                 lsp.add("elements", hi - lo)
             with span("matvec.bottom_up") as bsp:
-                contrib = g_loc.T @ w_elem.reshape(-1)
+                contrib = plan.g_loc_T[r] @ w_elem.reshape(-1)
                 # owned contributions accumulate locally ...
-                out[ref[mine]] += contrib[mine]
+                out[plan.owned_ids[r]] += contrib[mine]
                 # ... ghost contributions return to their owners
                 for o in layout.neighbor_ranks[r]:
-                    sel = src == o
-                    post[(r, int(o))] = contrib[gpos[sel]]
-                bsp.add("ghost_returns", int(len(gh)))
-            contrib_store[r] = (ref, contrib)
+                    post[(r, int(o))] = contrib[plan.ghost_pos[(int(o), r)]]
+                bsp.add("ghost_returns", int(len(layout.ghost_nodes[r])))
     with span("matvec.exchange.post", merge=True):
         comm.exchange(post)
         # owners accumulate the returned ghost contributions
         for (src_rank, owner), payload in post.items():
-            gh = layout.ghost_nodes[src_rank]
-            ids = gh[layout.ghost_sources[src_rank] == owner]
-            out[ids] += payload
+            out[plan.send_ids[(owner, src_rank)]] += payload
     return out

@@ -5,6 +5,15 @@ rank owning the first element (in SFC order) that references it.  Ghost
 nodes of a rank are the nodes its elements reference but does not own —
 the quantities behind Fig. 11 (ghost distribution, η = N_G/N_L) and the
 communication volumes of the scaling studies.
+
+:class:`ExchangePlan` turns a :class:`PartitionLayout` into a
+*persistent* ghost-exchange plan: the per-(rank, neighbour) send/recv
+index arrays and the rank-local restricted gather operators that the
+distributed MATVEC needs on every apply, precomputed once.  Krylov
+solvers hit :func:`repro.parallel.dist_matvec.distributed_matvec` once
+per iteration, so hoisting this derivation out of the call is the
+distributed half of the operator-plan layer
+(:mod:`repro.core.plan`).
 """
 
 from __future__ import annotations
@@ -12,11 +21,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..core.mesh import IncompleteMesh
+from ..core.plan import mesh_fingerprint, operator_context
 from ..obs import set_gauge, span
 
-__all__ = ["PartitionLayout", "analyze_partition"]
+__all__ = [
+    "PartitionLayout",
+    "analyze_partition",
+    "ExchangePlan",
+    "exchange_plan",
+]
 
 
 @dataclass
@@ -118,3 +134,92 @@ def _analyze_partition(mesh: IncompleteMesh, splits: np.ndarray) -> PartitionLay
         ghost_sources=ghost_sources,
         neighbor_ranks=neighbor_ranks,
     )
+
+
+class ExchangePlan:
+    """Persistent ghost-exchange + rank-local operator plan (§3.5).
+
+    Precomputes, once per (mesh fingerprint, layout):
+
+    * ``send_ids[(owner, user)]`` — global node ids whose values the
+      owner rank ships to the user rank in the pre-exchange (and where
+      the returned ghost contributions accumulate in the post-exchange);
+    * ``ghost_pos[(owner, user)]`` — the positions of those ghosts in
+      the user rank's local (referenced-node) index space;
+    * ``g_loc[r]`` — rank ``r``'s rows of the gather operator with
+      columns remapped into its local index space (CSR);
+    * ``mine[r]`` / ``owned_ids[r]`` — the locally owned subset of the
+      referenced nodes and their global ids.
+
+    ``distributed_matvec`` consumes these arrays directly, so repeated
+    distributed applies no longer re-derive exchange dicts or re-CSR the
+    gather on every call.
+    """
+
+    def __init__(self, mesh: IncompleteMesh, layout: PartitionLayout):
+        ctx = operator_context(mesh)
+        self.mesh = mesh
+        self.layout = layout
+        self.ctx = ctx
+        self.fingerprint = ctx.fingerprint
+        self.npe = mesh.npe
+        self.h = ctx.h
+        g = ctx.gather
+        npe = mesh.npe
+        splits = layout.splits
+        nranks = layout.nranks
+        self.mine: list[np.ndarray] = []
+        self.owned_ids: list[np.ndarray] = []
+        self.g_loc: list[sp.csr_matrix | None] = []
+        self.g_loc_T: list[sp.csc_matrix | None] = []
+        self.send_ids: dict[tuple[int, int], np.ndarray] = {}
+        self.ghost_pos: dict[tuple[int, int], np.ndarray] = {}
+        for r in range(nranks):
+            lo, hi = splits[r], splits[r + 1]
+            ref = layout.ref_nodes[r]
+            gh, src = layout.ghost_nodes[r], layout.ghost_sources[r]
+            mine = layout.node_owner[ref] == r
+            self.mine.append(mine)
+            self.owned_ids.append(ref[mine])
+            gpos = np.searchsorted(ref, gh)
+            for owner in layout.neighbor_ranks[r]:
+                sel = src == owner
+                self.send_ids[(int(owner), r)] = gh[sel]
+                self.ghost_pos[(int(owner), r)] = gpos[sel]
+            if hi <= lo:
+                self.g_loc.append(None)
+                self.g_loc_T.append(None)
+                continue
+            # restrict the gather operator to this rank's rows and
+            # remap columns into the local index space
+            g_r = g[lo * npe : hi * npe]
+            local_cols = np.searchsorted(ref, g_r.indices)
+            g_loc = sp.csr_matrix(
+                (g_r.data, local_cols, g_r.indptr),
+                shape=(g_r.shape[0], len(ref)),
+            )
+            self.g_loc.append(g_loc)
+            # the CSC transpose shares g_loc's arrays; prebuilding it
+            # keeps scipy's per-call transpose wrapper off the hot path
+            self.g_loc_T.append(g_loc.T)
+
+
+def exchange_plan(mesh: IncompleteMesh, layout: PartitionLayout) -> ExchangePlan:
+    """The layout's cached :class:`ExchangePlan`.
+
+    Cached on the layout object behind the mesh content fingerprint:
+    reusing a layout against a refined/coarsened mesh (new fingerprint)
+    rebuilds the plan instead of reusing stale index arrays.
+    """
+    plan = getattr(layout, "_exchange_plan", None)
+    if (
+        plan is not None
+        and plan.mesh is mesh
+        and plan.fingerprint == mesh_fingerprint(mesh)
+    ):
+        return plan
+    with span("plan.exchange_build") as osp:
+        plan = ExchangePlan(mesh, layout)
+        osp.add("ranks", layout.nranks)
+    layout._exchange_plan = plan
+    return plan

@@ -25,8 +25,7 @@ import scipy.sparse.linalg as spla
 
 from ..core.mesh import IncompleteMesh
 from ..core.octant import max_level
-from ..core.sfc import get_curve
-from ..core.treesort import block_ends
+from ..core.plan import operator_context
 from ..fem.basis import LagrangeBasis, local_node_offsets
 
 __all__ = ["prolongation", "MultigridPoisson"]
@@ -43,9 +42,9 @@ def _locate_leaves(mesh: IncompleteMesh, pts_2p: np.ndarray) -> np.ndarray:
     dim = mesh.dim
     m = max_level(dim)
     p = mesh.p
-    oracle = get_curve(mesh.curve)
-    keys = oracle.keys(mesh.leaves)
-    ends = block_ends(keys, mesh.leaves.levels, dim)
+    # SFC keys and block ends come from the mesh's cached traversal plan
+    plan = operator_context(mesh).traversal
+    oracle, keys, ends = plan.oracle, plan.keys, plan.ends
     dirs = 2 * local_node_offsets(1, dim) - 1
     Q = 2 * pts_2p[:, None, :] + dirs[None, :, :]  # 4p-scaled units
     extent4 = 4 * p * (1 << m)
@@ -93,7 +92,7 @@ def prolongation(
     xi = np.clip(xi, 0.0, 1.0)
     N = basis.eval(xi)  # (n_fine, npe)
     # compose with the coarse hanging interpolation via its gather rows
-    g = coarse.nodes.gather.tocsr()
+    g = operator_context(coarse).gather
     npe = coarse.npe
     rows, cols, vals = [], [], []
     indptr, indices, data = g.indptr, g.indices, g.data

@@ -91,10 +91,12 @@ def test_traversal_plan_slots_cover_all(tmp_path):
     dom = Domain(SphereCarve([0.5, 0.5], 0.3))
     mesh = build_mesh(dom, 2, 4, p=1)
     plan = TraversalPlan(mesh)
-    assert len(plan.slot_gid) == mesh.n_elem
+    assert len(plan.slot_ptr) == mesh.n_elem + 1
+    assert plan.slot_ptr[-1] == len(plan.slot_gid) == len(plan.slot_w)
     for e in range(mesh.n_elem):
         # every local slot appears at least once in the slot table
-        assert set(plan.slot_idx[e]) == set(range(mesh.npe))
+        slot, _, _ = plan.rows(e)
+        assert set(slot) == set(range(mesh.npe))
 
 
 def test_blockjacobi_empty_block():
