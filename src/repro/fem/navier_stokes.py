@@ -31,6 +31,7 @@ import scipy.sparse.linalg as spla
 
 from ..core.mesh import IncompleteMesh
 from ..core.plan import operator_context
+from ..obs import add as obs_add
 from ..obs import span
 
 __all__ = ["NavierStokesProblem", "big_gather", "NSResult"]
@@ -283,6 +284,21 @@ class NavierStokesProblem:
             osp.add("iterations", it)
         return NSResult(U, P, it, res)
 
+    def _substep(self, state: NSResult, picard_per_step: int) -> NSResult:
+        """One implicit-Euler step at the current ``self.dt``; raises
+        ``FloatingPointError`` if the new state is not finite (sparse-LU
+        singular factors surface as ``RuntimeError`` from SciPy)."""
+        x_old = self.pack(state.velocity, state.pressure)
+        out = self.picard_solve(
+            state.velocity, state.pressure, x_old=x_old,
+            max_iter=picard_per_step, tol=1e-8,
+        )
+        if not (
+            np.all(np.isfinite(out.velocity)) and np.all(np.isfinite(out.pressure))
+        ):
+            raise FloatingPointError("non-finite Navier-Stokes state")
+        return out
+
     def advance(
         self,
         U: np.ndarray,
@@ -290,25 +306,64 @@ class NavierStokesProblem:
         nsteps: int,
         picard_per_step: int = 2,
         verbose: bool = False,
+        max_dt_halvings: int = 0,
     ) -> NSResult:
-        """Implicit-Euler time stepping (dt must be finite)."""
+        """Implicit-Euler time stepping (dt must be finite).
+
+        With ``max_dt_halvings > 0``, a failed step (singular linear
+        solve or a non-finite state) is retried with the step size
+        halved — 2^k substeps of dt/2^k land on the same time level, so
+        the trajectory's time grid is unchanged for callers.  Each
+        retry increments the ``resilience.ns.dt_halvings`` counter;
+        exhausting the budget raises
+        :class:`repro.resilience.faults.SolverBreakdown` instead of
+        silently returning garbage.
+        """
         if not np.isfinite(self.dt):
             raise ValueError("advance() requires a finite dt")
         out = NSResult(U, P, 0, np.inf)
+        dt0 = self.dt
         with span("ns.advance") as osp:
-            for s in range(nsteps):
-                x_old = self.pack(out.velocity, out.pressure)
-                out = self.picard_solve(
-                    out.velocity, out.pressure, x_old=x_old,
-                    max_iter=picard_per_step, tol=1e-8,
-                )
-                if verbose:
-                    umax = np.abs(out.velocity).max()
-                    print(
-                        f"step {s + 1}/{nsteps}: dU = {out.residual:.3e}, "
-                        f"|u|max = {umax:.3f}"
-                    )
-            osp.add("steps", nsteps)
+            try:
+                for s in range(nsteps):
+                    for halving in range(max_dt_halvings + 1):
+                        nsub = 2**halving
+                        self.dt = dt0 / nsub
+                        try:
+                            sub = out
+                            for _ in range(nsub):
+                                sub = self._substep(sub, picard_per_step)
+                            out = sub
+                            break
+                        except (FloatingPointError, RuntimeError) as exc:
+                            if halving == max_dt_halvings:
+                                if max_dt_halvings == 0:
+                                    raise
+                                from ..resilience.faults import SolverBreakdown
+
+                                raise SolverBreakdown(
+                                    "ns.advance",
+                                    "dt_budget_exhausted",
+                                    f"step {s + 1}: dt halved {halving}x "
+                                    f"down to {self.dt:.3e}, still failing "
+                                    f"({exc})",
+                                ) from exc
+                            obs_add("resilience.ns.dt_halvings", 1)
+                            osp.add("dt_halvings", 1)
+                            if verbose:
+                                print(
+                                    f"step {s + 1}: retry with dt = "
+                                    f"{dt0 / 2 ** (halving + 1):.3e} ({exc})"
+                                )
+                    if verbose:
+                        umax = np.abs(out.velocity).max()
+                        print(
+                            f"step {s + 1}/{nsteps}: dU = {out.residual:.3e}, "
+                            f"|u|max = {umax:.3f}"
+                        )
+                osp.add("steps", nsteps)
+            finally:
+                self.dt = dt0
         return out
 
     def divergence_norm(self, U: np.ndarray) -> float:

@@ -24,11 +24,12 @@ instrumentation stays in place permanently::
 """
 
 from .counters import REGISTRY, add, get_value, set_gauge, snapshot
-from .trace import TRACER, is_enabled, record, set_enabled, span
+from .trace import TRACER, current_span, is_enabled, record, set_enabled, span
 
 __all__ = [
     "span",
     "record",
+    "current_span",
     "add",
     "set_gauge",
     "get_value",

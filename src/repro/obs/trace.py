@@ -32,7 +32,8 @@ import os
 import threading
 import time
 
-__all__ = ["Span", "Tracer", "TRACER", "span", "record", "set_enabled", "is_enabled"]
+__all__ = ["Span", "Tracer", "TRACER", "span", "record", "current_span",
+           "set_enabled", "is_enabled"]
 
 
 class Span:
@@ -69,6 +70,17 @@ class Span:
         """Attach free-form metadata to the span."""
         self.meta[key] = value
 
+    def event(self, name: str, **data) -> None:
+        """Append a point-in-time event to the span (``meta["events"]``).
+
+        Events are how exceptional occurrences — injected faults,
+        recoveries, dt backoffs — are pinned to the span in whose scope
+        they happened, without opening a child span."""
+        ev = {"name": name}
+        for k, v in data.items():
+            ev[k] = v.item() if hasattr(v, "item") else v
+        self.meta.setdefault("events", []).append(ev)
+
     def to_dict(self, timing: bool = True) -> dict:
         """Serialise the subtree; ``timing=False`` drops clock fields
         (the canonical form compared by the determinism tests)."""
@@ -103,6 +115,9 @@ class _NullSpan:
         pass
 
     def set(self, key: str, value) -> None:
+        pass
+
+    def event(self, name: str, **data) -> None:
         pass
 
 
@@ -229,6 +244,14 @@ def span(name: str, merge: bool = False, **attrs):
 def record(name: str, seconds: float, merge: bool = True, **counters) -> Span | None:
     """Module-level shortcut for :meth:`Tracer.record`."""
     return TRACER.record(name, seconds, merge=merge, **counters)
+
+
+def current_span() -> Span | None:
+    """The innermost open span of this thread (None when disabled or
+    no span is open) — the anchor point for :meth:`Span.event`."""
+    if not TRACER.enabled:
+        return None
+    return TRACER.current()
 
 
 def set_enabled(flag: bool) -> None:

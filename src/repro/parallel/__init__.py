@@ -4,13 +4,14 @@ Mesh-dependent pieces are exported lazily (PEP 562) to avoid import
 cycles with :mod:`repro.core`.
 """
 
-from .partition import partition_weights
+from .partition import partition_weights, shrink_splits
 from .simmpi import SimComm, TrafficCounters
 
 __all__ = [
     "SimComm",
     "TrafficCounters",
     "partition_weights",
+    "shrink_splits",
     "partition_mesh",
     "PartitionLayout",
     "analyze_partition",

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..core.mesh import IncompleteMesh
 from ..obs import span
+from ..resilience.faults import RankFailure
 from .ghost import ExchangePlan, PartitionLayout, exchange_plan
 from .simmpi import SimComm
 
@@ -60,7 +61,11 @@ def distributed_matvec(
     # (an owner reads only entries it owns — legitimate rank-local data)
     with span("matvec.exchange.pre", merge=True):
         pre = {key: u[ids] for key, ids in plan.send_ids.items()}
-        comm.exchange(pre)
+        try:
+            pre = comm.exchange(pre, allow_self=False)
+        except RankFailure as exc:
+            exc.phase = "matvec.exchange.pre"
+            raise
 
     out = np.zeros_like(u, dtype=np.float64)
     post: dict[tuple[int, int], np.ndarray] = {}
@@ -73,12 +78,17 @@ def distributed_matvec(
             mine = plan.mine[r]
             with span("matvec.top_down") as tsp:
                 # rank-local ghosted input vector: owned entries from the
-                # locally stored distributed vector, ghosts from payloads
-                u_loc_vec = np.empty(len(ref))
+                # locally stored distributed vector, ghosts from payloads.
+                # Zero-initialised so a silently dropped ghost payload
+                # (fault injection) yields a deterministic wrong answer
+                # rather than reading uninitialised memory.
+                u_loc_vec = np.zeros(len(ref))
                 u_loc_vec[mine] = u[plan.owned_ids[r]]
                 for o in layout.neighbor_ranks[r]:
                     key = (int(o), r)
-                    u_loc_vec[plan.ghost_pos[key]] = pre[key]
+                    payload = pre.get(key)
+                    if payload is not None:
+                        u_loc_vec[plan.ghost_pos[key]] = payload
                 u_elem = (plan.g_loc[r] @ u_loc_vec).reshape(hi - lo, npe)
                 tsp.add("local_nodes", len(ref))
             with span("matvec.leaf") as lsp:
@@ -93,7 +103,11 @@ def distributed_matvec(
                     post[(r, int(o))] = contrib[plan.ghost_pos[(int(o), r)]]
                 bsp.add("ghost_returns", int(len(layout.ghost_nodes[r])))
     with span("matvec.exchange.post", merge=True):
-        comm.exchange(post)
+        try:
+            post = comm.exchange(post, allow_self=False)
+        except RankFailure as exc:
+            exc.phase = "matvec.exchange.post"
+            raise
         # owners accumulate the returned ghost contributions
         for (src_rank, owner), payload in post.items():
             out[plan.send_ids[(owner, src_rank)]] += payload

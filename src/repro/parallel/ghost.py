@@ -203,6 +203,20 @@ class ExchangePlan:
             # keeps scipy's per-call transpose wrapper off the hot path
             self.g_loc_T.append(g_loc.T)
 
+    def nbytes(self) -> int:
+        """Resident bytes of the plan's index/operator arrays — the
+        memory price of persisting the exchange plan, reported by the
+        resilience overhead benchmark alongside checkpoint volume."""
+        total = 0
+        for arrs in (self.mine, self.owned_ids):
+            total += sum(a.nbytes for a in arrs)
+        for d in (self.send_ids, self.ghost_pos):
+            total += sum(a.nbytes for a in d.values())
+        for m in self.g_loc:
+            if m is not None:
+                total += m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+        return total
+
 
 def exchange_plan(mesh: IncompleteMesh, layout: PartitionLayout) -> ExchangePlan:
     """The layout's cached :class:`ExchangePlan`.

@@ -23,7 +23,12 @@ from ..core.mesh import IncompleteMesh
 from ..core.octant import max_level
 from ..core.sfc import get_curve
 
-__all__ = ["partition_weights", "partition_mesh", "splitter_block_levels"]
+__all__ = [
+    "partition_weights",
+    "partition_mesh",
+    "splitter_block_levels",
+    "shrink_splits",
+]
 
 
 def partition_weights(
@@ -92,6 +97,34 @@ def partition_mesh(
     return partition_weights(
         np.ones(mesh.n_elem), nparts, load_tol, keys=keys, dim=mesh.dim
     )
+
+
+def shrink_splits(splits: np.ndarray, failed_ranks) -> np.ndarray:
+    """Contract a partition onto the ranks surviving a failure.
+
+    Each failed rank's element range is absorbed by the nearest
+    surviving rank *before* it in SFC order (leading failed ranges go
+    to the first survivor), so surviving ranks keep their own element
+    ranges — the minimal-data-movement recovery repartition used by
+    :mod:`repro.resilience.recovery`.  Returns splits of length
+    ``n_survivors + 1`` covering the same global element range.
+    """
+    splits = np.asarray(splits, np.int64)
+    nranks = len(splits) - 1
+    failed = {int(r) for r in failed_ranks}
+    if not failed <= set(range(nranks)):
+        raise ValueError(f"failed ranks {sorted(failed)} outside 0..{nranks - 1}")
+    survivors = [r for r in range(nranks) if r not in failed]
+    if not survivors:
+        raise ValueError("no surviving ranks to shrink onto")
+    out = np.empty(len(survivors) + 1, np.int64)
+    out[0] = splits[0]
+    # survivor i > 0 keeps its own range start; everything between the
+    # previous survivor's end and here (failed ranges) merges backwards
+    for i, r in enumerate(survivors[1:], start=1):
+        out[i] = splits[r]
+    out[-1] = splits[-1]
+    return out
 
 
 def splitter_block_levels(mesh: IncompleteMesh, splits: np.ndarray) -> np.ndarray:

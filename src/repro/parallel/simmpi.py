@@ -13,6 +13,14 @@ the measurements collected here.
 The API mirrors the phased collective style of the algorithms: each
 call takes per-rank inputs and returns per-rank outputs, updating the
 per-rank traffic counters.
+
+Fault injection (:mod:`repro.resilience.faults`): installing a
+:class:`~repro.resilience.faults.FaultSchedule` makes the communicator
+raise typed :class:`RankFailure` / :class:`MessageCorruption` errors at
+exactly the scheduled collective steps.  A crashed rank poisons the
+communicator — every later collective keeps raising until a recovery
+driver rebuilds a fresh one over the survivors — matching real MPI
+semantics where a communicator with a dead rank is unusable.
 """
 
 from __future__ import annotations
@@ -22,6 +30,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs import add as obs_add
+from ..obs import record as obs_record
+from ..obs.trace import TRACER
+from ..resilience.faults import (
+    FaultSchedule,
+    MessageCorruption,
+    RankFailure,
+    corrupt_buffer,
+)
 
 __all__ = ["SimComm", "TrafficCounters"]
 
@@ -78,9 +94,79 @@ class SimComm:
             raise ValueError("communicator size must be >= 1")
         self.size = size
         self.counters = TrafficCounters.zeros(size)
+        #: monotonically increasing collective index (fault-schedule clock)
+        self.op_index = 0
+        #: ranks that have crashed; non-empty == communicator is broken
+        self.failed_ranks: set[int] = set()
+        self.fault_schedule: FaultSchedule | None = None
 
     def reset_counters(self) -> None:
         self.counters = TrafficCounters.zeros(self.size)
+
+    # -- fault injection ------------------------------------------------
+
+    def install_faults(self, schedule: FaultSchedule | None) -> None:
+        """Attach a deterministic fault schedule (None to clear)."""
+        self.fault_schedule = schedule
+
+    def _record_fault(self, kind: str, op: str, idx: int, **labels) -> None:
+        """Publish one injected fault: counter + zero-duration span +
+        event on the innermost open span (no-ops while obs disabled)."""
+        obs_add("resilience.faults_injected", 1, kind=kind)
+        obs_record(f"resilience.fault.{kind}", 0.0)
+        sp = TRACER.current() if TRACER.enabled else None
+        if sp is not None:
+            sp.event("fault", kind=kind, op=op, op_index=idx, **labels)
+
+    def _fault_gate(self, op: str) -> int:
+        """Advance the collective clock and apply crash faults.
+
+        Raises :class:`RankFailure` when a rank dies at this step or
+        the communicator already lost a rank earlier."""
+        idx = self.op_index
+        self.op_index += 1
+        sched = self.fault_schedule
+        if sched is not None:
+            for f in sched.crashes_at(idx):
+                if f.rank is not None and 0 <= f.rank < self.size:
+                    sched.consume(f)
+                    self.failed_ranks.add(int(f.rank))
+                    self._record_fault("crash", op, idx, rank=int(f.rank))
+        if self.failed_ranks:
+            raise RankFailure(min(self.failed_ranks), op, idx)
+        return idx
+
+    def _has_message_faults(self, idx: int) -> bool:
+        """Once-per-collective fast path: only walk the per-message
+        filter when some unconsumed drop/corrupt fault targets this
+        collective index (keeps the armed-schedule tax off the
+        per-message hot path)."""
+        sched = self.fault_schedule
+        if sched is None:
+            return False
+        return any(
+            f.kind in ("drop", "corrupt") and f.at_op == idx
+            for f in sched.pending()
+        )
+
+    def _message_filter(self, idx: int, op: str, src: int, dst: int, buf):
+        """Apply drop/corrupt faults to one message.
+
+        Returns ``(deliver, buf)``; raises :class:`MessageCorruption`
+        for detected (non-silent) faults."""
+        sched = self.fault_schedule
+        if sched is None:
+            return True, buf
+        f = sched.message_fault(idx, src, dst)
+        if f is None:
+            return True, buf
+        sched.consume(f)
+        self._record_fault(f.kind, op, idx, src=src, dst=dst)
+        if not f.silent:
+            raise MessageCorruption(src, dst, f.kind, op, idx)
+        if f.kind == "drop":
+            return False, buf
+        return True, corrupt_buffer(buf, (sched.seed, idx, src, dst))
 
     def _count_p2p(self, src: int, dst: int, nb: int) -> None:
         """Tally one cross-rank message in the local counters and the
@@ -101,10 +187,37 @@ class SimComm:
     def alltoallv(self, send: list[list]) -> list[list]:
         """``send[src][dst]`` → returns ``recv[dst][src]``.
 
-        Entries may be numpy arrays or None (no message).
+        Entries may be numpy arrays or None (no message).  Buffers are
+        validated before any counter is touched: a reported negative
+        payload size or the *same* array object aliased into several
+        slots would corrupt the traffic counters (and hand mutable
+        aliases to several receivers), so both are rejected with a
+        clear error instead.
         """
         if len(send) != self.size or any(len(row) != self.size for row in send):
             raise ValueError("send must be a size x size matrix of buffers")
+        seen: dict[int, tuple[int, int]] = {}
+        for src in range(self.size):
+            for dst in range(self.size):
+                buf = send[src][dst]
+                if buf is None or (isinstance(buf, np.ndarray) and buf.size == 0):
+                    continue
+                nb = _nbytes(buf)
+                if nb < 0:
+                    raise ValueError(
+                        f"alltoallv: buffer ({src}->{dst}) reports negative "
+                        f"size {nb}"
+                    )
+                if isinstance(buf, np.ndarray):
+                    prev = seen.setdefault(id(buf), (src, dst))
+                    if prev != (src, dst):
+                        raise ValueError(
+                            f"alltoallv: buffer ({src}->{dst}) aliases the "
+                            f"({prev[0]}->{prev[1]}) buffer — send distinct "
+                            "arrays per destination"
+                        )
+        idx = self._fault_gate("alltoallv")
+        filtering = self._has_message_faults(idx)
         self._count_collective()
         recv: list[list] = [[None] * self.size for _ in range(self.size)]
         for src in range(self.size):
@@ -112,6 +225,12 @@ class SimComm:
                 buf = send[src][dst]
                 if buf is None or (isinstance(buf, np.ndarray) and buf.size == 0):
                     continue
+                if filtering:
+                    deliver, buf = self._message_filter(
+                        idx, "alltoallv", src, dst, buf
+                    )
+                    if not deliver:
+                        continue
                 if src != dst:
                     self._count_p2p(src, dst, _nbytes(buf))
                 recv[dst][src] = buf
@@ -121,6 +240,7 @@ class SimComm:
         """Each rank contributes one value; all ranks get the list."""
         if len(values) != self.size:
             raise ValueError("one value per rank required")
+        self._fault_gate("allgather")
         self._count_collective()
         sizes = [_nbytes(v) for v in values]
         total = sum(sizes)
@@ -138,6 +258,7 @@ class SimComm:
         """Elementwise reduction of per-rank arrays/scalars."""
         if len(values) != self.size:
             raise ValueError("one value per rank required")
+        self._fault_gate("allreduce")
         self._count_collective()
         arrs = [np.asarray(v) for v in values]
         out = arrs[0].copy()
@@ -153,12 +274,50 @@ class SimComm:
             obs_add("comm.messages_sent", 1, rank=r)
         return [out.copy() for _ in range(self.size)]
 
-    def exchange(self, messages: dict[tuple[int, int], np.ndarray]):
-        """Batched point-to-point: {(src, dst): array} → same mapping,
-        with traffic counted (self-messages are free)."""
+    def exchange(
+        self,
+        messages: dict[tuple[int, int], np.ndarray],
+        allow_self: bool = True,
+    ) -> dict[tuple[int, int], np.ndarray]:
+        """Batched point-to-point: {(src, dst): array} → delivered
+        mapping, with traffic counted (self-messages are free).
+
+        Keys are validated: src/dst must be in-range ranks, and
+        self-sends are rejected when ``allow_self`` is False (the ghost
+        exchange legs never legitimately self-send, so corrupted keys
+        fail loudly there instead of silently skewing counters).
+        Callers must consume the *returned* mapping — under an
+        installed fault schedule it may differ from the input
+        (dropped or corrupted entries).
+        """
+        for key in messages:
+            if (
+                not isinstance(key, tuple) or len(key) != 2
+                or not all(isinstance(k, (int, np.integer)) for k in key)
+            ):
+                raise ValueError(f"exchange: malformed message key {key!r}")
+            src, dst = int(key[0]), int(key[1])
+            if not (0 <= src < self.size and 0 <= dst < self.size):
+                raise ValueError(
+                    f"exchange: message key ({src}, {dst}) outside "
+                    f"communicator of size {self.size}"
+                )
+            if src == dst and not allow_self:
+                raise ValueError(
+                    f"exchange: self-send ({src}->{dst}) is not allowed here"
+                )
+        idx = self._fault_gate("exchange")
+        filtering = self._has_message_faults(idx)
         self._count_collective()
+        out: dict[tuple[int, int], np.ndarray] = {}
         for (src, dst), buf in messages.items():
-            if src == dst:
-                continue
-            self._count_p2p(src, dst, _nbytes(buf))
-        return messages
+            if src != dst:
+                if filtering:
+                    deliver, buf = self._message_filter(
+                        idx, "exchange", int(src), int(dst), buf
+                    )
+                    if not deliver:
+                        continue
+                self._count_p2p(src, dst, _nbytes(buf))
+            out[(src, dst)] = buf
+        return out

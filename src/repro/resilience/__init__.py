@@ -1,0 +1,79 @@
+"""repro.resilience — fault injection, checkpoint/restart, recovery.
+
+The robustness layer the paper's production context implies but never
+spells out: 16K-core runs lose ranks and break solvers, so restartable
+state and failure-aware drivers are first-class infrastructure here
+(as in FEMPAR and the Badia–Martín–Neiva–Verdugo tree-AMR framework).
+
+Three pieces:
+
+* :mod:`repro.resilience.faults` — seeded deterministic
+  :class:`FaultSchedule` installed on :class:`repro.parallel.SimComm`;
+  typed :class:`RankFailure` / :class:`MessageCorruption` /
+  :class:`SolverBreakdown` errors.
+* :mod:`repro.resilience.checkpoint` — versioned snapshots (schema
+  ``repro.resilience/ckpt.v1``) of mesh SFC state, partition layout,
+  solver vectors and time-stepper state, with a sha256 integrity
+  digest and fingerprint-verified restore.
+* :mod:`repro.resilience.recovery` — self-healing drivers: a
+  checkpointed distributed CG (:func:`resilient_poisson_solve`) and a
+  Navier–Stokes time-stepping driver (:class:`ResilientNSDriver`) that
+  survive injected rank crashes by shrinking the partition to the
+  survivors and resuming from the latest checkpoint.
+
+Only :mod:`faults` is imported eagerly (it is dependency-light and is
+what :mod:`repro.parallel.simmpi` needs); the checkpoint/recovery
+symbols resolve lazily (PEP 562) to keep import cycles out.
+"""
+
+from .faults import (
+    Fault,
+    FaultError,
+    FaultSchedule,
+    MessageCorruption,
+    RankFailure,
+    SolverBreakdown,
+    corrupt_buffer,
+)
+
+__all__ = [
+    "Fault",
+    "FaultError",
+    "FaultSchedule",
+    "MessageCorruption",
+    "RankFailure",
+    "SolverBreakdown",
+    "corrupt_buffer",
+    "CKPT_SCHEMA_ID",
+    "Checkpoint",
+    "CheckpointCorruption",
+    "save_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
+    "ResilientSolveResult",
+    "RecoveryEvent",
+    "resilient_poisson_solve",
+    "ResilientNSDriver",
+]
+
+_LAZY = {
+    "CKPT_SCHEMA_ID": ("checkpoint", "CKPT_SCHEMA_ID"),
+    "Checkpoint": ("checkpoint", "Checkpoint"),
+    "CheckpointCorruption": ("checkpoint", "CheckpointCorruption"),
+    "save_checkpoint": ("checkpoint", "save_checkpoint"),
+    "load_checkpoint": ("checkpoint", "load_checkpoint"),
+    "latest_checkpoint": ("checkpoint", "latest_checkpoint"),
+    "ResilientSolveResult": ("recovery", "ResilientSolveResult"),
+    "RecoveryEvent": ("recovery", "RecoveryEvent"),
+    "resilient_poisson_solve": ("recovery", "resilient_poisson_solve"),
+    "ResilientNSDriver": ("recovery", "ResilientNSDriver"),
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        mod, attr = _LAZY[name]
+        return getattr(importlib.import_module(f".{mod}", __name__), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

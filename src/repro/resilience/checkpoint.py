@@ -1,0 +1,272 @@
+"""Versioned checkpoint/restart snapshots (schema ``repro.resilience/ckpt.v1``).
+
+A checkpoint captures everything a recovery driver needs to resume a
+solve after losing ranks or state:
+
+* the mesh's discrete content — SFC octant anchors + levels, dim, p,
+  curve (geometry is *code*, not data: restore takes the ``Domain``);
+* the partition layout (element-range splits);
+* named solver vectors (Krylov state, velocity/pressure fields);
+* named scalars and time-stepper state (dt, step index, time);
+* the operator-plan fingerprint of :mod:`repro.core.plan` — restore
+  rebuilds the mesh and *verifies* the rebuilt fingerprint matches, so
+  a checkpoint can never silently resurrect a different operator.
+
+The file format is a single JSON document: arrays are stored as
+base64-encoded raw bytes with dtype/shape, and a sha256 digest over
+the canonical (sorted-key, no-whitespace) serialisation of everything
+else seals the file.  Any tampering — payload or header — surfaces as
+a typed :class:`CheckpointCorruption` at load time.  The format is
+deliberately dependency-free and bit-deterministic: the same state
+always produces byte-identical checkpoint files, which is what the
+round-trip tests assert.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.mesh import IncompleteMesh, mesh_from_leaves
+from ..core.octant import OctantSet
+from ..core.plan import mesh_fingerprint
+from ..obs import add as obs_add
+from ..obs import span
+
+__all__ = [
+    "CKPT_SCHEMA_ID",
+    "CheckpointCorruption",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
+]
+
+CKPT_SCHEMA_ID = "repro.resilience/ckpt.v1"
+
+
+class CheckpointCorruption(RuntimeError):
+    """A checkpoint failed its integrity or compatibility checks."""
+
+
+def _encode_array(arr: np.ndarray) -> dict:
+    a = np.ascontiguousarray(arr)
+    return {
+        "dtype": a.dtype.str,
+        "shape": list(a.shape),
+        "data": base64.b64encode(a.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(d: dict) -> np.ndarray:
+    a = np.frombuffer(base64.b64decode(d["data"]), dtype=np.dtype(d["dtype"]))
+    return a.reshape(d["shape"]).copy()  # copy: writable, owns its memory
+
+
+def _canonical(doc: dict) -> bytes:
+    """The byte string the integrity digest covers (digest key excluded)."""
+    body = {k: v for k, v in doc.items() if k != "sha256"}
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+
+def save_checkpoint(
+    path,
+    mesh: IncompleteMesh,
+    *,
+    step: int = 0,
+    t: float = 0.0,
+    dt: float | None = None,
+    splits: np.ndarray | None = None,
+    vectors: dict[str, np.ndarray] | None = None,
+    scalars: dict[str, float] | None = None,
+    name: str = "checkpoint",
+    meta: dict | None = None,
+) -> Path:
+    """Write one ``ckpt.v1`` snapshot; returns the written path.
+
+    Checkpoint volume is published to :mod:`repro.obs` as
+    ``resilience.ckpt.writes`` / ``resilience.ckpt.bytes_written`` so
+    run artifacts carry the checkpointing cost of a resilient solve.
+    """
+    path = Path(path)
+    with span("resilience.ckpt.save") as osp:
+        doc: dict = {
+            "schema": CKPT_SCHEMA_ID,
+            "name": name,
+            "step": int(step),
+            "time": float(t),
+            "dt": None if dt is None else float(dt),
+            "fingerprint": mesh_fingerprint(mesh),
+            "mesh": {
+                "dim": int(mesh.dim),
+                "p": int(mesh.p),
+                "curve": mesh.curve,
+                "anchors": _encode_array(mesh.leaves.anchors),
+                "levels": _encode_array(mesh.leaves.levels),
+            },
+            "splits": None if splits is None else _encode_array(
+                np.asarray(splits, np.int64)
+            ),
+            "vectors": {
+                k: _encode_array(np.asarray(v))
+                for k, v in sorted((vectors or {}).items())
+            },
+            "scalars": {
+                k: float(v) for k, v in sorted((scalars or {}).items())
+            },
+            "meta": dict(meta) if meta else {},
+        }
+        doc["sha256"] = hashlib.sha256(_canonical(doc)).hexdigest()
+        text = json.dumps(doc, sort_keys=True, indent=1) + "\n"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        osp.add("bytes", len(text))
+        obs_add("resilience.ckpt.writes", 1)
+        obs_add("resilience.ckpt.bytes_written", len(text))
+    return path
+
+
+def load_checkpoint(path) -> "Checkpoint":
+    """Load and integrity-check one checkpoint file.
+
+    Raises :class:`CheckpointCorruption` on a wrong schema tag, a
+    missing digest, or any digest mismatch (tampered payload/header).
+    """
+    path = Path(path)
+    with span("resilience.ckpt.load") as osp:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointCorruption(f"{path}: unreadable checkpoint: {exc}")
+        if not isinstance(doc, dict) or doc.get("schema") != CKPT_SCHEMA_ID:
+            raise CheckpointCorruption(
+                f"{path}: schema tag must be {CKPT_SCHEMA_ID!r}, "
+                f"got {doc.get('schema')!r}"
+            )
+        digest = doc.get("sha256")
+        if not digest:
+            raise CheckpointCorruption(f"{path}: missing integrity digest")
+        actual = hashlib.sha256(_canonical(doc)).hexdigest()
+        if actual != digest:
+            raise CheckpointCorruption(
+                f"{path}: integrity digest mismatch "
+                f"(stored {digest[:12]}…, computed {actual[:12]}…)"
+            )
+        osp.add("bytes", path.stat().st_size)
+        obs_add("resilience.ckpt.loads", 1)
+    return Checkpoint(doc, path)
+
+
+def latest_checkpoint(directory, name: str | None = None) -> Path | None:
+    """Newest ``*.ckpt.json`` in ``directory`` by (step, filename).
+
+    Step order is read from the filename suffix written by the
+    recovery drivers (``<name>_step<k>.ckpt.json``); ties and foreign
+    files fall back to lexicographic order.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    pattern = f"{name}_step*.ckpt.json" if name else "*.ckpt.json"
+    files = sorted(directory.glob(pattern))
+    return files[-1] if files else None
+
+
+@dataclass
+class Checkpoint:
+    """A loaded, integrity-verified ``ckpt.v1`` document."""
+
+    doc: dict
+    path: Path
+
+    @property
+    def name(self) -> str:
+        return self.doc["name"]
+
+    @property
+    def step(self) -> int:
+        return int(self.doc["step"])
+
+    @property
+    def time(self) -> float:
+        return float(self.doc["time"])
+
+    @property
+    def dt(self) -> float | None:
+        dt = self.doc.get("dt")
+        return None if dt is None else float(dt)
+
+    @property
+    def fingerprint(self) -> str:
+        return self.doc["fingerprint"]
+
+    @property
+    def scalars(self) -> dict[str, float]:
+        return dict(self.doc.get("scalars", {}))
+
+    @property
+    def meta(self) -> dict:
+        return dict(self.doc.get("meta", {}))
+
+    def vector(self, key: str) -> np.ndarray:
+        return _decode_array(self.doc["vectors"][key])
+
+    def vectors(self) -> dict[str, np.ndarray]:
+        return {k: _decode_array(v) for k, v in self.doc["vectors"].items()}
+
+    def splits(self) -> np.ndarray | None:
+        enc = self.doc.get("splits")
+        return None if enc is None else _decode_array(enc)
+
+    def mesh_leaves(self) -> OctantSet:
+        m = self.doc["mesh"]
+        return OctantSet(
+            _decode_array(m["anchors"]), _decode_array(m["levels"]), int(m["dim"])
+        )
+
+    def restore_mesh(self, domain) -> IncompleteMesh:
+        """Rebuild the mesh on ``domain`` and verify the operator-plan
+        fingerprint matches the one the checkpoint was taken against.
+
+        The leaves were balanced when saved, so no re-balancing runs;
+        a fingerprint mismatch (wrong domain discretisation, altered
+        leaf data that survived the digest — i.e. a bug) raises
+        :class:`CheckpointCorruption` rather than resuming a solve on
+        a different operator.
+        """
+        m = self.doc["mesh"]
+        with span("resilience.ckpt.restore_mesh") as osp:
+            mesh = mesh_from_leaves(
+                domain, self.mesh_leaves(), p=int(m["p"]), curve=m["curve"],
+                balance=False,
+            )
+            fp = mesh_fingerprint(mesh)
+            if fp != self.fingerprint:
+                raise CheckpointCorruption(
+                    f"{self.path}: restored mesh fingerprint {fp[:12]}… does "
+                    f"not match checkpointed {self.fingerprint[:12]}…"
+                )
+            osp.add("elements", mesh.n_elem)
+        return mesh
+
+    def restore(self, domain):
+        """Rebuild (mesh, layout, exchange plan) from the snapshot.
+
+        The exchange plan is re-derived from the fingerprint-verified
+        mesh, so the restored distributed operator is guaranteed
+        consistent with the checkpointed vectors.
+        """
+        from ..parallel.ghost import analyze_partition, exchange_plan
+
+        mesh = self.restore_mesh(domain)
+        splits = self.splits()
+        if splits is None:
+            return mesh, None, None
+        layout = analyze_partition(mesh, splits)
+        plan = exchange_plan(mesh, layout)
+        return mesh, layout, plan

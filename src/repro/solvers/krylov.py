@@ -23,11 +23,22 @@ Operator = Callable[[np.ndarray], np.ndarray]
 
 @dataclass
 class KrylovResult:
+    """Solve outcome with a structured termination reason.
+
+    ``reason`` is one of ``"converged"``, ``"maxiter"``,
+    ``"breakdown"`` (a Krylov scalar vanished — the solver cannot
+    continue) or ``"nonfinite"`` (NaN/Inf entered the recurrence).
+    ``converged`` is True **only** for ``reason == "converged"``; a
+    breakdown or non-finite exit never reports success, even if the
+    last residual norm happened to sit below the tolerance.
+    """
+
     x: np.ndarray
     iterations: int
     residual: float
     converged: bool
     matvecs: int = 0
+    reason: str = "maxiter"
 
 
 def _as_op(A) -> Operator:
@@ -69,11 +80,19 @@ def cg(
         rnorm = float(np.linalg.norm(r))
         residuals = [rnorm]
         it = 0
-        while rnorm > tol and it < maxiter:
+        fail: str | None = None if np.isfinite(rnorm) else "nonfinite"
+        while fail is None and rnorm > tol and it < maxiter:
             with span("solver.iteration", merge=True) as isp:
                 Ap = op(p)
                 nmv += 1
-                alpha = rz / float(p @ Ap)
+                pAp = float(p @ Ap)
+                if not np.isfinite(pAp):
+                    fail = "nonfinite"
+                    break
+                if pAp == 0.0:
+                    fail = "breakdown"
+                    break
+                alpha = rz / pAp
                 x += alpha * p
                 r -= alpha * Ap
                 rnorm = float(np.linalg.norm(r))
@@ -82,16 +101,21 @@ def cg(
             residuals.append(rnorm)
             if callback is not None:
                 callback(it, rnorm)
+            if not np.isfinite(rnorm):
+                fail = "nonfinite"
+                break
             if rnorm <= tol:
                 break
             z = M(r) if M else r
             rz_new = float(r @ z)
             p = z + (rz_new / rz) * p
             rz = rz_new
+        reason = fail or ("converged" if rnorm <= tol else "maxiter")
         osp.add("iterations", it)
         osp.add("matvecs", nmv)
         osp.set("residual_history", residuals)
-    return KrylovResult(x, it, rnorm, rnorm <= tol, nmv)
+        osp.set("reason", reason)
+    return KrylovResult(x, it, rnorm, reason == "converged", nmv, reason)
 
 
 def bicgstab(
@@ -126,11 +150,16 @@ def bicgstab(
         rnorm = float(np.linalg.norm(r))
         residuals = [rnorm]
         it = 0
-        while rnorm > tol and it < maxiter:
+        fail: str | None = None if np.isfinite(rnorm) else "nonfinite"
+        while fail is None and rnorm > tol and it < maxiter:
             with span("solver.iteration", merge=True) as isp:
                 rho_new = float(r_hat @ r)
+                if not np.isfinite(rho_new):
+                    fail = "nonfinite"
+                    break
                 if rho_new == 0.0:
-                    break  # breakdown
+                    fail = "breakdown"  # Lanczos breakdown: ⟨r̂, r⟩ = 0
+                    break
                 if it == 0:
                     p = r.copy()
                 else:
@@ -141,7 +170,11 @@ def bicgstab(
                 nmv += 1
                 isp.add("matvecs", 1)
                 denom = float(r_hat @ v)
+                if not np.isfinite(denom):
+                    fail = "nonfinite"
+                    break
                 if denom == 0.0:
+                    fail = "breakdown"  # pivot breakdown: ⟨r̂, Ap̂⟩ = 0
                     break
                 alpha = rho_new / denom
                 s = r - alpha * v
@@ -168,9 +201,17 @@ def bicgstab(
             residuals.append(rnorm)
             if callback is not None:
                 callback(it, rnorm)
-            if omega == 0.0:
+            if not np.isfinite(rnorm):
+                fail = "nonfinite"
                 break
+            if omega == 0.0:
+                # stabiliser breakdown — terminal unless already converged
+                if rnorm > tol:
+                    fail = "breakdown"
+                break
+        reason = fail or ("converged" if rnorm <= tol else "maxiter")
         osp.add("iterations", it)
         osp.add("matvecs", nmv)
         osp.set("residual_history", residuals)
-    return KrylovResult(x, it, rnorm, rnorm <= tol, nmv)
+        osp.set("reason", reason)
+    return KrylovResult(x, it, rnorm, reason == "converged", nmv, reason)

@@ -7,15 +7,30 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import add as obs_add
+from ..obs import span
+
 __all__ = ["NewtonResult", "newton_ls"]
 
 
 @dataclass
 class NewtonResult:
+    """Newton outcome with a structured termination reason.
+
+    ``reason`` is one of ``"converged"``, ``"maxiter"``,
+    ``"breakdown"`` (the line search could not produce a finite
+    decreasing step within its retry budget) or ``"nonfinite"``
+    (NaN/Inf in the residual or Newton direction).  ``converged`` is
+    True **only** for ``reason == "converged"``.  ``retries`` counts
+    the backoff restarts consumed from ``retry_budget``.
+    """
+
     x: np.ndarray
     iterations: int
     residual: float
     converged: bool
+    reason: str = "maxiter"
+    retries: int = 0
 
 
 def newton_ls(
@@ -26,34 +41,68 @@ def newton_ls(
     atol: float = 1e-12,
     max_iter: int = 50,
     max_backtracks: int = 8,
+    retry_budget: int = 0,
 ) -> NewtonResult:
     """Damped Newton: x ← x + λ δ with δ = −J(x)⁻¹ F(x).
 
     ``solve_jacobian(x, rhs)`` must return J(x)⁻¹ rhs.  The step is
     halved until the residual norm decreases (Armijo-free backtracking,
     the default PETSc ``bt`` behaviour in spirit).
+
+    When the line search exhausts ``max_backtracks`` without a finite
+    decreasing step and ``retry_budget > 0``, the iteration retries
+    from the same iterate with the starting step cap λ halved
+    (retry-with-backoff); once the budget is spent, the smallest step
+    is accepted if finite (the legacy behaviour) and the search is
+    declared a ``"breakdown"`` only if even that step is non-finite.
+    Retries are published to :mod:`repro.obs` as
+    ``resilience.newton.retries``.
     """
-    x = np.asarray(x0, float).copy()
-    F = residual(x)
-    norm0 = float(np.linalg.norm(F))
-    norm = norm0
-    tol = max(rtol * norm0, atol)
-    it = 0
-    while norm > tol and it < max_iter:
-        delta = solve_jacobian(x, -F)
-        lam = 1.0
-        for _ in range(max_backtracks):
-            x_try = x + lam * delta
-            F_try = residual(x_try)
-            n_try = float(np.linalg.norm(F_try))
-            if n_try < norm:
+    with span("solver.newton") as osp:
+        x = np.asarray(x0, float).copy()
+        F = residual(x)
+        norm0 = float(np.linalg.norm(F))
+        norm = norm0
+        tol = max(rtol * norm0, atol)
+        it = 0
+        retries = 0
+        lam_cap = 1.0
+        fail: str | None = None if np.isfinite(norm0) else "nonfinite"
+        while fail is None and norm > tol and it < max_iter:
+            delta = solve_jacobian(x, -F)
+            if not np.all(np.isfinite(delta)):
+                fail = "nonfinite"
                 break
-            lam *= 0.5
-        else:
-            # no decrease found: accept the smallest step and continue
-            x_try = x + lam * delta
-            F_try = residual(x_try)
-            n_try = float(np.linalg.norm(F_try))
-        x, F, norm = x_try, F_try, n_try
-        it += 1
-    return NewtonResult(x, it, norm, norm <= tol)
+            lam = lam_cap
+            found = False
+            for _ in range(max_backtracks):
+                x_try = x + lam * delta
+                F_try = residual(x_try)
+                n_try = float(np.linalg.norm(F_try))
+                if np.isfinite(n_try) and n_try < norm:
+                    found = True
+                    break
+                lam *= 0.5
+            if not found:
+                if retries < retry_budget:
+                    # back off: restart the search from the same iterate
+                    # with a halved step cap before giving up
+                    retries += 1
+                    lam_cap *= 0.5
+                    obs_add("resilience.newton.retries", 1)
+                    continue
+                # budget spent: accept the smallest step if it is finite
+                x_try = x + lam * delta
+                F_try = residual(x_try)
+                n_try = float(np.linalg.norm(F_try))
+                if not np.isfinite(n_try):
+                    fail = "breakdown"
+                    break
+            x, F, norm = x_try, F_try, n_try
+            it += 1
+        reason = fail or ("converged" if norm <= tol else "maxiter")
+        osp.add("iterations", it)
+        osp.set("reason", reason)
+        if retries:
+            osp.set("retries", retries)
+    return NewtonResult(x, it, norm, reason == "converged", reason, retries)

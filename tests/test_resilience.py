@@ -1,0 +1,441 @@
+"""Fault injection, checkpoint/restart and self-healing recovery tests.
+
+All tests carry the ``resilience`` marker so CI can run the
+fault-injection suite standalone (``pytest -m resilience``).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Domain, build_mesh
+from repro.core.mesh import build_uniform_mesh
+from repro.fem.navier_stokes import NavierStokesProblem
+from repro.fem.poisson import PoissonProblem
+from repro.geometry import BoxRetain, SphereCarve
+from repro.parallel import SimComm, shrink_splits
+from repro.resilience import (
+    Checkpoint,
+    CheckpointCorruption,
+    FaultSchedule,
+    MessageCorruption,
+    RankFailure,
+    ResilientNSDriver,
+    SolverBreakdown,
+    corrupt_buffer,
+    latest_checkpoint,
+    load_checkpoint,
+    resilient_poisson_solve,
+    save_checkpoint,
+)
+from repro.solvers import bicgstab, cg, newton_ls
+
+pytestmark = pytest.mark.resilience
+
+
+@pytest.fixture(scope="module")
+def sphere_mesh():
+    dom = Domain(SphereCarve([0.5, 0.5, 0.5], 0.3))
+    return dom, build_mesh(dom, 2, 4, p=1)
+
+
+@pytest.fixture(scope="module")
+def channel():
+    dom = Domain(BoxRetain([0, 0], [4, 1], domain=([0, 0], [4, 4])), scale=4.0)
+    mesh = build_uniform_mesh(dom, 4, p=1)
+    pts = mesh.node_coords()
+
+    def bc(p_):
+        mask = np.zeros((len(p_), 2), bool)
+        vals = np.zeros((len(p_), 2))
+        wall = np.isclose(p_[:, 1], 0) | np.isclose(p_[:, 1], 1)
+        inlet = np.isclose(p_[:, 0], 0)
+        mask[wall] = True
+        mask[inlet] = True
+        vals[inlet, 0] = 4 * p_[inlet, 1] * (1 - p_[inlet, 1])
+        return mask, vals
+
+    outlet = np.isclose(pts[:, 0], 4.0)
+
+    def make():
+        return NavierStokesProblem(
+            mesh, nu=0.05, velocity_bc=bc, pressure_pin=outlet, dt=0.2
+        )
+
+    return dom, mesh, make
+
+
+# -- fault schedules ---------------------------------------------------
+
+
+def test_schedule_determinism():
+    a = FaultSchedule.random(3, nranks=8, max_op=100, n_faults=4,
+                             kinds=("crash", "drop", "corrupt"))
+    b = FaultSchedule.random(3, nranks=8, max_op=100, n_faults=4,
+                             kinds=("crash", "drop", "corrupt"))
+    assert a.describe() == b.describe()
+    c = FaultSchedule.random(4, nranks=8, max_op=100, n_faults=4,
+                             kinds=("crash", "drop", "corrupt"))
+    assert a.describe() != c.describe()
+
+
+def test_corrupt_buffer_deterministic_single_bit_flip():
+    buf = np.arange(8, dtype=np.float64)
+    a = corrupt_buffer(buf, (0, 1, 2, 3))
+    b = corrupt_buffer(buf, (0, 1, 2, 3))
+    assert np.array_equal(a, b)
+    xor = np.frombuffer(buf.tobytes(), np.uint8) ^ np.frombuffer(
+        a.tobytes(), np.uint8
+    )
+    assert int(np.unpackbits(xor).sum()) == 1  # exactly one bit flipped
+    other = corrupt_buffer(buf, (0, 1, 2, 4))
+    assert not np.array_equal(a, other)
+
+
+def test_crash_fires_at_exact_op_and_poisons_comm():
+    comm = SimComm(3)
+    comm.install_faults(FaultSchedule(seed=0).crash_rank(1, at_op=1))
+    comm.allreduce([np.float64(r) for r in range(3)])  # op 0: fine
+    with pytest.raises(RankFailure) as ei:
+        comm.allreduce([np.float64(r) for r in range(3)])  # op 1: crash
+    assert ei.value.rank == 1 and ei.value.op_index == 1
+    assert comm.failed_ranks == {1}
+    # the communicator stays broken: every later collective raises too
+    with pytest.raises(RankFailure):
+        comm.allgather([np.zeros(1)] * 3)
+
+
+def test_consumed_fault_does_not_refire():
+    sched = FaultSchedule(seed=0).crash_rank(0, at_op=0)
+    comm = SimComm(2)
+    comm.install_faults(sched)
+    with pytest.raises(RankFailure):
+        comm.allreduce([np.float64(0), np.float64(1)])
+    rebuilt = SimComm(1)
+    rebuilt.install_faults(sched)  # same one-shot schedule, new op clock
+    rebuilt.allreduce([np.float64(0)])  # op 0 again: must NOT refire
+    assert not sched.pending()
+
+
+def test_detected_drop_raises_typed_error():
+    comm = SimComm(2)
+    comm.install_faults(FaultSchedule(seed=0).drop_message(0, 1, at_op=0))
+    with pytest.raises(MessageCorruption) as ei:
+        comm.exchange({(0, 1): np.ones(4)})
+    assert (ei.value.src, ei.value.dst, ei.value.mode) == (0, 1, "drop")
+
+
+def test_silent_drop_removes_message():
+    comm = SimComm(2)
+    comm.install_faults(
+        FaultSchedule(seed=0).drop_message(0, 1, at_op=0, silent=True)
+    )
+    out = comm.exchange({(0, 1): np.ones(4), (1, 0): np.ones(2)})
+    assert (0, 1) not in out and (1, 0) in out
+
+
+def test_silent_corruption_flips_one_bit_deterministically():
+    payload = np.arange(16, dtype=np.float64)
+    outs = []
+    for _ in range(2):
+        comm = SimComm(2)
+        comm.install_faults(
+            FaultSchedule(seed=5).corrupt_message(0, 1, at_op=0, silent=True)
+        )
+        outs.append(comm.exchange({(0, 1): payload.copy()})[(0, 1)])
+    assert np.array_equal(outs[0], outs[1])  # same seed, same damage
+    assert not np.array_equal(outs[0], payload)
+
+
+# -- communicator validation (satellite) -------------------------------
+
+
+def test_exchange_rejects_bad_keys():
+    comm = SimComm(2)
+    with pytest.raises(ValueError, match="outside"):
+        comm.exchange({(0, 5): np.ones(1)})
+    with pytest.raises(ValueError, match="malformed"):
+        comm.exchange({"0->1": np.ones(1)})
+    with pytest.raises(ValueError, match="self-send"):
+        comm.exchange({(1, 1): np.ones(1)}, allow_self=False)
+    # self-sends stay legal where explicitly allowed (default)
+    out = comm.exchange({(1, 1): np.ones(1)})
+    assert np.array_equal(out[(1, 1)], np.ones(1))
+
+
+def test_alltoallv_rejects_negative_size_buffers():
+    class _NegBytes(np.ndarray):
+        @property
+        def nbytes(self):
+            return -8
+
+    comm = SimComm(2)
+    send = [[None] * 2 for _ in range(2)]
+    send[0][1] = np.zeros(2).view(_NegBytes)
+    with pytest.raises(ValueError, match="negative"):
+        comm.alltoallv(send)
+
+
+def test_alltoallv_rejects_aliased_buffers():
+    comm = SimComm(3)
+    buf = np.ones(4)
+    send = [[None] * 3 for _ in range(3)]
+    send[0][1] = buf
+    send[0][2] = buf  # same object to two receivers
+    with pytest.raises(ValueError, match="aliases"):
+        comm.alltoallv(send)
+
+
+# -- solver breakdown taxonomy (satellite) -----------------------------
+
+
+def test_bicgstab_breakdown_reason_never_converged():
+    # r_hat ⟂ A r for the antisymmetric operator: pivot breakdown at it 0
+    A = np.array([[0.0, 1.0], [-1.0, 0.0]])
+    res = bicgstab(A, np.array([1.0, 1.0]), rtol=1e-12)
+    assert res.reason == "breakdown"
+    assert not res.converged
+
+
+def test_krylov_nonfinite_reason():
+    bad = np.full((2, 2), np.nan)
+    for solver in (cg, bicgstab):
+        res = solver(bad, np.ones(2))
+        assert res.reason == "nonfinite"
+        assert not res.converged
+
+
+def test_krylov_converged_reason():
+    A = np.diag([2.0, 3.0, 4.0])
+    for solver in (cg, bicgstab):
+        res = solver(A, np.ones(3), rtol=1e-10)
+        assert res.reason == "converged" and res.converged
+
+
+def test_newton_nonfinite_reason():
+    res = newton_ls(
+        lambda x: np.full_like(x, np.nan), lambda x, r: r, np.array([1.0])
+    )
+    assert res.reason == "nonfinite" and not res.converged
+
+
+def test_newton_retry_backoff_recovers_bad_step_scaling():
+    # the "Jacobian solve" overshoots 100x: every full/halved step within
+    # one short line search increases |F|, so only the lam_cap backoff
+    # (retry budget) finds the decreasing step
+    def residual(x):
+        return x
+
+    def solve_jac(x, rhs):
+        return 100.0 * rhs
+
+    res = newton_ls(residual, solve_jac, np.array([1.0]), rtol=1e-8,
+                    max_backtracks=2, retry_budget=8)
+    assert res.converged and res.retries > 0
+
+
+# -- checkpoint/restart (satellite) ------------------------------------
+
+
+def test_checkpoint_roundtrip_bitwise_sphere(sphere_mesh, tmp_path):
+    dom, mesh = sphere_mesh
+    rng = np.random.default_rng(0)
+    vecs = {"x": rng.standard_normal(mesh.n_nodes), "r": rng.standard_normal(mesh.n_nodes)}
+    p1 = save_checkpoint(tmp_path / "a.ckpt.json", mesh, step=3,
+                         splits=np.array([0, mesh.n_elem]), vectors=vecs,
+                         scalars={"rz": 0.125}, name="t")
+    p2 = save_checkpoint(tmp_path / "b.ckpt.json", mesh, step=3,
+                         splits=np.array([0, mesh.n_elem]), vectors=vecs,
+                         scalars={"rz": 0.125}, name="t")
+    # bit-deterministic writer: same state, byte-identical files
+    assert p1.read_bytes() == p2.read_bytes()
+    ck = load_checkpoint(p1)
+    assert isinstance(ck, Checkpoint) and ck.step == 3
+    assert np.array_equal(ck.vector("x"), vecs["x"])  # exact, not approx
+    assert ck.scalars["rz"] == 0.125
+    mesh2, layout, plan = ck.restore(dom)
+    assert mesh2.n_nodes == mesh.n_nodes
+    assert plan.fingerprint == ck.fingerprint
+
+
+def test_checkpoint_roundtrip_channel_dt(channel, tmp_path):
+    dom, mesh, make = channel
+    prob = make()
+    U, P = prob.initial_state()
+    path = save_checkpoint(tmp_path / "c.ckpt.json", mesh, step=2, t=0.4,
+                           dt=prob.dt, vectors={"U": U, "P": P}, name="ns")
+    ck = load_checkpoint(path)
+    assert ck.dt == prob.dt and ck.time == 0.4
+    assert np.array_equal(ck.vector("U"), U)
+    assert ck.restore_mesh(dom).n_elem == mesh.n_elem
+
+
+def test_checkpoint_tamper_detection(sphere_mesh, tmp_path):
+    _, mesh = sphere_mesh
+    path = save_checkpoint(tmp_path / "t.ckpt.json", mesh,
+                           vectors={"x": np.ones(mesh.n_nodes)})
+    doc = json.loads(path.read_text())
+    doc["step"] = 99  # tamper with the header
+    path.write_text(json.dumps(doc))
+    with pytest.raises(CheckpointCorruption, match="digest"):
+        load_checkpoint(path)
+    doc = json.loads(path.read_text())
+    doc["step"] = 0
+    doc["sha256"] = "0" * 64  # tamper with the digest itself
+    path.write_text(json.dumps(doc))
+    with pytest.raises(CheckpointCorruption, match="digest"):
+        load_checkpoint(path)
+    path.write_text("not json at all")
+    with pytest.raises(CheckpointCorruption, match="unreadable"):
+        load_checkpoint(path)
+
+
+def test_checkpoint_schema_tag_enforced(tmp_path):
+    path = tmp_path / "w.ckpt.json"
+    path.write_text(json.dumps({"schema": "something/else.v9"}))
+    with pytest.raises(CheckpointCorruption, match="schema"):
+        load_checkpoint(path)
+
+
+def test_latest_checkpoint_orders_by_step(tmp_path):
+    (tmp_path / "run_step000002.ckpt.json").write_text("{}")
+    (tmp_path / "run_step000010.ckpt.json").write_text("{}")
+    assert latest_checkpoint(tmp_path, "run").name == "run_step000010.ckpt.json"
+    assert latest_checkpoint(tmp_path / "missing") is None
+
+
+# -- partition shrink --------------------------------------------------
+
+
+def test_shrink_splits_absorbs_failed_ranges():
+    splits = np.array([0, 10, 20, 30, 40])
+    assert shrink_splits(splits, [1]).tolist() == [0, 20, 30, 40]
+    assert shrink_splits(splits, [0]).tolist() == [0, 20, 30, 40]
+    assert shrink_splits(splits, [3]).tolist() == [0, 10, 20, 40]
+    assert shrink_splits(splits, [1, 2]).tolist() == [0, 30, 40]
+    with pytest.raises(ValueError, match="outside"):
+        shrink_splits(splits, [7])
+    with pytest.raises(ValueError, match="surviving"):
+        shrink_splits(splits, [0, 1, 2, 3])
+
+
+# -- end-to-end recovery ----------------------------------------------
+
+
+def test_resilient_poisson_crash_recovery_matches(sphere_mesh, tmp_path):
+    dom, mesh = sphere_mesh
+    prob = PoissonProblem(mesh, f=1.0)
+    ref = resilient_poisson_solve(
+        prob, ranks=6, ckpt_dir=tmp_path / "ref", ckpt_interval=5, rtol=1e-12
+    )
+    assert ref.reason == "converged" and not ref.recoveries
+    sched = FaultSchedule(seed=1).crash_rank(2, at_op=17)
+    res = resilient_poisson_solve(
+        prob, ranks=6, ckpt_dir=tmp_path / "faulted", ckpt_interval=5,
+        fault_schedule=sched, rtol=1e-12,
+    )
+    assert res.reason == "converged"
+    assert len(res.recoveries) == 1
+    assert res.ranks_final == 5
+    ev = res.recoveries[0]
+    assert ev.kind == "rank_failure" and ev.failed_ranks == (2,)
+    assert "resumed" in ev.describe()
+    assert float(np.abs(res.x - ref.x).max()) <= 1e-12
+
+
+def test_resilient_poisson_recovery_is_deterministic(sphere_mesh, tmp_path):
+    dom, mesh = sphere_mesh
+    prob = PoissonProblem(mesh, f=1.0)
+    runs = []
+    for tag in ("a", "b"):
+        sched = FaultSchedule(seed=1).crash_rank(2, at_op=17)
+        runs.append(resilient_poisson_solve(
+            prob, ranks=6, ckpt_dir=tmp_path / tag, ckpt_interval=5,
+            fault_schedule=sched, rtol=1e-12,
+        ))
+    assert np.array_equal(runs[0].x, runs[1].x)
+    assert [e.op_index for e in runs[0].recoveries] == [
+        e.op_index for e in runs[1].recoveries
+    ]
+
+
+def test_resilient_poisson_respects_max_recoveries(sphere_mesh, tmp_path):
+    _, mesh = sphere_mesh
+    prob = PoissonProblem(mesh, f=1.0)
+    sched = (FaultSchedule(seed=0)
+             .crash_rank(1, at_op=5).crash_rank(0, at_op=8))
+    with pytest.raises(RankFailure):
+        resilient_poisson_solve(
+            prob, ranks=6, ckpt_dir=tmp_path, ckpt_interval=3,
+            fault_schedule=sched, max_recoveries=1,
+        )
+
+
+def test_resilient_ns_crash_recovery_bit_identical(channel, tmp_path):
+    dom, mesh, make = channel
+    ref = ResilientNSDriver(
+        make(), ranks=4, ckpt_dir=tmp_path / "ref", ckpt_interval=2
+    ).run(6)
+    sched = FaultSchedule(seed=7).crash_rank(1, at_op=4)
+    res = ResilientNSDriver(
+        make(), ranks=4, ckpt_dir=tmp_path / "faulted", ckpt_interval=2,
+        fault_schedule=sched,
+    ).run(6)
+    assert len(res.recoveries) == 1 and res.ranks_final == 3
+    assert res.recoveries[0].restored_step == 4
+    # NS recovery replays from raw checkpoint bytes on the serial
+    # stepper: the recovered trajectory is *bit*-identical
+    assert np.array_equal(res.velocity, ref.velocity)
+    assert np.array_equal(res.pressure, ref.pressure)
+
+
+# -- dt-halving retry --------------------------------------------------
+
+
+def test_ns_dt_halving_retry(channel, monkeypatch):
+    _, mesh, make = channel
+    prob = make()
+    dt0 = prob.dt
+    orig = NavierStokesProblem._substep
+
+    def flaky(self, state, picard_per_step):
+        if self.dt > dt0 / 2 + 1e-15:
+            raise FloatingPointError("injected instability at full dt")
+        return orig(self, state, picard_per_step)
+
+    monkeypatch.setattr(NavierStokesProblem, "_substep", flaky)
+    U, P = prob.initial_state()
+    with pytest.raises(FloatingPointError):
+        prob.advance(U, P, 1)  # no budget: the failure propagates
+    assert prob.dt == dt0
+    out = prob.advance(U, P, 2, max_dt_halvings=2)
+    assert np.all(np.isfinite(out.velocity))
+    assert prob.dt == dt0  # restored after the halved substeps
+
+
+def test_ns_dt_halving_budget_exhaustion(channel, monkeypatch):
+    _, mesh, make = channel
+    prob = make()
+
+    def always_fails(self, state, picard_per_step):
+        raise FloatingPointError("injected")
+
+    monkeypatch.setattr(NavierStokesProblem, "_substep", always_fails)
+    U, P = prob.initial_state()
+    with pytest.raises(SolverBreakdown, match="dt_budget_exhausted"):
+        prob.advance(U, P, 1, max_dt_halvings=2)
+    assert prob.dt == prob.dt  # dt restored by the finally
+
+
+def test_matvec_rank_failure_carries_phase(sphere_mesh):
+    from repro.parallel import analyze_partition, distributed_matvec, partition_mesh
+
+    _, mesh = sphere_mesh
+    splits = partition_mesh(mesh, 4)
+    layout = analyze_partition(mesh, splits)
+    comm = SimComm(4)
+    comm.install_faults(FaultSchedule(seed=0).crash_rank(3, at_op=0))
+    with pytest.raises(RankFailure) as ei:
+        distributed_matvec(mesh, layout, np.ones(mesh.n_nodes), comm)
+    assert ei.value.phase == "matvec.exchange.pre"
