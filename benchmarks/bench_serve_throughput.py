@@ -1,0 +1,135 @@
+"""Serving throughput — cold vs cache-hot vs batched multi-RHS.
+
+Measures what the :mod:`repro.serve` stack buys on a 30-request
+workload over three discretizations:
+
+* **cold** — empty artifact cache: every fingerprint pays mesh
+  construction + operator-context build + factorization;
+* **hot sequential** — warm cache, ``max_batch=1``: requests skip all
+  build work but each one runs its own single-RHS solve;
+* **hot batched** — warm cache, ``max_batch=10``: requests sharing a
+  fingerprint solve as one multi-RHS block (one SpMM per CG iteration
+  instead of k SpMVs).
+
+The acceptance bar is batched >= 2x hot-sequential throughput; the
+speedup and the per-request latency percentiles (measured wall time,
+summarised with the deterministic :class:`repro.obs.Histogram`) land
+in ``benchmarks/results/serve_throughput.{txt,json}`` (bench.v1
+sidecar with structured records).
+"""
+
+import time
+
+from repro.obs import Histogram
+from repro.serve import SolveRequest, SolverService
+
+from _util import ResultTable
+
+N_REQUESTS = 30
+SPECS = [
+    {"shape": "sphere", "center": (0.5, 0.5), "radius": 0.3},
+    {"shape": "sphere", "center": (0.5, 0.5), "radius": 0.2},
+    {"shape": "sphere", "center": (0.5, 0.5), "radius": 0.15},
+]
+
+
+def _workload() -> list[SolveRequest]:
+    return [
+        SolveRequest(
+            geometry=SPECS[i % len(SPECS)],
+            base_level=2,
+            boundary_level=5,
+            f=1.0 + 0.03 * i,
+            priority=i % 3,
+        )
+        for i in range(N_REQUESTS)
+    ]
+
+
+def _run_stream(svc: SolverService, hist: Histogram | None = None) -> float:
+    reqs = _workload()
+    t0 = time.perf_counter()
+    if hist is None:
+        for r in reqs:
+            svc.submit(r)
+        done = svc.drain()
+    else:
+        done = []
+        for r in reqs:  # per-request wall latency needs one drain each
+            t1 = time.perf_counter()
+            svc.submit(r)
+            done += svc.drain()
+            hist.observe(time.perf_counter() - t1)
+    elapsed = time.perf_counter() - t0
+    assert len(done) == N_REQUESTS
+    assert all(resp.ok for resp in done)
+    return elapsed
+
+
+def _best_of(n: int, fn) -> float:
+    return min(fn() for _ in range(n))
+
+
+def test_serve_throughput():
+    table = ResultTable(
+        "serve_throughput",
+        "Serving throughput: cold vs cache-hot vs batched multi-RHS "
+        f"({N_REQUESTS} requests, {len(SPECS)} discretizations)",
+    )
+
+    # cold: every fingerprint pays the full build pipeline
+    svc_seq = SolverService(max_batch=1)
+    t_cold = _run_stream(svc_seq)
+
+    # hot sequential: warm cache, single-RHS solves, per-request latency
+    hist = Histogram()
+    t_hot_seq = _best_of(3, lambda: _run_stream(svc_seq, hist))
+
+    # hot batched: warm the batched service once, then time it
+    svc_bat = SolverService(max_batch=10)
+    _run_stream(svc_bat)
+    t_hot_bat = _best_of(3, lambda: _run_stream(svc_bat))
+
+    speedup_hot = t_cold / t_hot_seq
+    speedup_bat = t_hot_seq / t_hot_bat
+    rps = N_REQUESTS / t_hot_bat
+    s = hist.summary()
+
+    table.row(f"{'mode':<18} {'seconds':>9} {'req/s':>8}")
+    for mode, t in [("cold", t_cold), ("hot sequential", t_hot_seq),
+                    ("hot batched", t_hot_bat)]:
+        table.row(f"{mode:<18} {t:>9.4f} {N_REQUESTS / t:>8.1f}")
+    table.row(
+        f"cache-hot speedup over cold:      {speedup_hot:>6.2f}x"
+    )
+    table.row(
+        f"batched speedup over sequential:  {speedup_bat:>6.2f}x  (bar: >= 2x)"
+    )
+    table.row(
+        "hot sequential per-request latency (s): "
+        f"p50={s['p50']:.2e} p95={s['p95']:.2e} p99={s['p99']:.2e} "
+        f"max={s['max']:.2e}"
+    )
+    st = svc_bat.stats()
+    table.row(
+        f"batched service: {st['batches']} batches, "
+        f"mean size {st['mean_batch_size']}, cache hits {st['cache']['hits']}"
+    )
+    table.record(mode="cold", seconds=t_cold)
+    table.record(mode="hot_sequential", seconds=t_hot_seq,
+                 latency_p50=s["p50"], latency_p95=s["p95"],
+                 latency_p99=s["p99"])
+    table.record(mode="hot_batched", seconds=t_hot_bat,
+                 requests_per_second=rps)
+    table.record(speedup_hot_over_cold=speedup_hot,
+                 speedup_batched_over_sequential=speedup_bat)
+    table.save()
+
+    assert speedup_hot > 1.0, "cache-hot must beat cold"
+    assert speedup_bat >= 2.0, (
+        f"batched multi-RHS speedup {speedup_bat:.2f}x below the 2x bar"
+    )
+
+
+if __name__ == "__main__":
+    test_serve_throughput()

@@ -303,6 +303,97 @@ def cmd_ckpt_info(args) -> None:
     _emit(lines, args.out)
 
 
+def cmd_serve_demo(args) -> None:
+    """Push a deterministic mixed workload through the serving layer."""
+    import json
+
+    from .serve import SolverService, demo_workload
+
+    svc = SolverService(
+        cache_bytes=args.cache_mb << 20,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+    )
+    reqs = demo_workload(args.requests, seed=args.seed,
+                         base_level=args.base_level,
+                         boundary_level=args.boundary_level)
+    for r in reqs:
+        svc.submit(r)
+    svc.drain()
+    st = svc.stats()
+    lines = [
+        f"# serve-demo: requests={args.requests} seed={args.seed} "
+        f"max_batch={args.max_batch} cache={args.cache_mb} MiB",
+        f"responses: {st['responses']}  status: "
+        + " ".join(f"{k}={v}" for k, v in st["status"].items()),
+        f"batches: {st['batches']}  mean batch size: {st['mean_batch_size']}",
+        f"cache: hits={st['cache']['hits']} misses={st['cache']['misses']} "
+        f"evictions={st['cache']['evictions']} "
+        f"bytes={st['cache']['bytes']} / {st['cache']['byte_budget']}",
+        f"virtual clock: {st['clock_ticks']} ticks",
+        "latency (virtual ticks): "
+        + " ".join(
+            f"{k}={st['latency_ticks'][k]:.0f}"
+            for k in ("min", "p50", "p95", "p99", "max")
+        ),
+        f"stream digest: {st['stream_digest']}",
+    ]
+    if args.json:
+        doc = {
+            "schema": "repro.serve/demo.v1",
+            "config": {
+                "requests": args.requests, "seed": args.seed,
+                "max_batch": args.max_batch, "max_pending": args.max_pending,
+                "cache_mb": args.cache_mb,
+                "base_level": args.base_level,
+                "boundary_level": args.boundary_level,
+            },
+            "stats": st,
+            "responses": [r.to_doc() for r in svc.responses],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        lines.append(f"json report written to {args.json}")
+    _emit(lines, args.out)
+
+
+def cmd_serve_stats(args) -> None:
+    """Render a serve-demo JSON report."""
+    import json
+
+    with open(args.report) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "repro.serve/demo.v1":
+        raise SystemExit(
+            f"{args.report}: not a repro.serve/demo.v1 report "
+            f"(schema={doc.get('schema')!r})"
+        )
+    cfg, st = doc["config"], doc["stats"]
+    lines = [
+        f"# serve report: {args.report}",
+        f"config: requests={cfg['requests']} seed={cfg['seed']} "
+        f"max_batch={cfg['max_batch']} cache={cfg['cache_mb']} MiB",
+        f"responses: {st['responses']}  status: "
+        + " ".join(f"{k}={v}" for k, v in st["status"].items()),
+        f"batches: {st['batches']}  mean batch size: {st['mean_batch_size']}",
+        f"cache: hits={st['cache']['hits']} misses={st['cache']['misses']} "
+        f"evictions={st['cache']['evictions']}",
+        "latency (virtual ticks): "
+        + " ".join(
+            f"{k}={st['latency_ticks'][k]:.0f}"
+            for k in ("min", "p50", "p95", "p99", "max")
+        ),
+        f"stream digest: {st['stream_digest']}",
+    ]
+    by_pde: dict[str, int] = {}
+    for r in doc["responses"]:
+        by_pde[r["pde"]] = by_pde.get(r["pde"], 0) + 1
+    lines.append(
+        "by pde: " + " ".join(f"{k}={v}" for k, v in sorted(by_pde.items()))
+    )
+    _emit(lines, args.out)
+
+
 def cmd_trace_report(args) -> None:
     from .obs.report import load_artifact, render_report, to_chrome_trace
 
@@ -389,6 +480,31 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("path")
     s.add_argument("--out", default=None)
     s.set_defaults(func=cmd_ckpt_info, trace_name=None)
+
+    s = sub.add_parser(
+        "serve-demo",
+        help="run a deterministic mixed workload through repro.serve",
+    )
+    s.add_argument("--requests", type=int, default=30)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--base-level", type=int, default=2)
+    s.add_argument("--boundary-level", type=int, default=3)
+    s.add_argument("--max-batch", type=int, default=8)
+    s.add_argument("--max-pending", type=int, default=128)
+    s.add_argument("--cache-mb", type=int, default=256,
+                   help="artifact-cache byte budget in MiB")
+    s.add_argument("--json", default=None,
+                   help="write a repro.serve/demo.v1 JSON report here")
+    s.add_argument("--out", default=None)
+    s.add_argument("--trace-out", default=None,
+                   help="run-artifact path (default trace_<command>.json)")
+    s.set_defaults(func=cmd_serve_demo, trace_name="serve-demo")
+
+    s = sub.add_parser("serve-stats",
+                       help="render a serve-demo JSON report")
+    s.add_argument("report")
+    s.add_argument("--out", default=None)
+    s.set_defaults(func=cmd_serve_stats, trace_name=None)
 
     s = sub.add_parser("trace-report", help="render a repro.obs run artifact")
     s.add_argument("artifact")

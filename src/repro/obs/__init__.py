@@ -23,7 +23,16 @@ instrumentation stays in place permanently::
     obs.write_artifact("run.json", "my-run")
 """
 
-from .counters import REGISTRY, add, get_value, set_gauge, snapshot
+from .counters import (
+    REGISTRY,
+    Histogram,
+    add,
+    get_histogram,
+    get_value,
+    observe,
+    set_gauge,
+    snapshot,
+)
 from .trace import TRACER, current_span, is_enabled, record, set_enabled, span
 
 __all__ = [
@@ -32,7 +41,10 @@ __all__ = [
     "current_span",
     "add",
     "set_gauge",
+    "observe",
     "get_value",
+    "get_histogram",
+    "Histogram",
     "snapshot",
     "enable",
     "disable",

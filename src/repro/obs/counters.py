@@ -15,11 +15,86 @@ unconditionally.
 
 from __future__ import annotations
 
+import bisect
 import threading
 
 from .trace import TRACER
 
-__all__ = ["CounterRegistry", "REGISTRY", "add", "set_gauge", "get_value", "snapshot"]
+__all__ = [
+    "Histogram",
+    "CounterRegistry",
+    "REGISTRY",
+    "add",
+    "set_gauge",
+    "observe",
+    "get_value",
+    "get_histogram",
+    "snapshot",
+]
+
+#: Fixed log-spaced bucket upper bounds shared by every histogram:
+#: four buckets per decade from 1e-6 to 1e7 (53 edges).  Fixed,
+#: data-independent buckets keep histogram state mergeable across runs
+#: and make the quantile summaries bit-deterministic.
+BUCKET_EDGES: tuple[float, ...] = tuple(
+    10.0 ** (e / 4.0) for e in range(-24, 29)
+)
+
+
+class Histogram:
+    """Log-bucketed value distribution with deterministic quantiles.
+
+    Observations land in the fixed :data:`BUCKET_EDGES` buckets (plus
+    one overflow bucket); ``quantile(q)`` reports the upper bound of
+    the bucket holding the q-th observation, so two runs recording the
+    same values always summarise identically regardless of insertion
+    order.  Exact ``count`` / ``sum`` / ``min`` / ``max`` ride along.
+    Usable standalone (e.g. benchmark percentiles) or through the
+    registry via :func:`observe`.
+    """
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(BUCKET_EDGES) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(BUCKET_EDGES, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound holding the q-th observation (0 < q <= 1)."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= rank:
+                return BUCKET_EDGES[i] if i < len(BUCKET_EDGES) else self.max
+        return self.max
+
+    def summary(self) -> dict:
+        """JSON-ready digest: count/sum/min/max + p50/p95/p99."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
 
 
 def _render(name: str, labels: tuple) -> str:
@@ -36,6 +111,7 @@ class CounterRegistry:
         self._lock = threading.Lock()
         self._counters: dict[tuple, float] = {}
         self._gauges: dict[tuple, float] = {}
+        self._hists: dict[tuple, Histogram] = {}
 
     def add(self, name: str, value: float = 1, **labels) -> None:
         """Accumulate into a monotonic counter (no-op while disabled)."""
@@ -57,6 +133,26 @@ class CounterRegistry:
         with self._lock:
             self._gauges[key] = value
 
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one value into a named histogram (no-op while disabled)."""
+        if not TRACER.enabled:
+            return
+        if hasattr(value, "item"):
+            value = value.item()
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            h = self._hists.get(key)
+            if h is None:
+                h = self._hists[key] = Histogram()
+            h.observe(value)
+
+    def get_histogram(self, name: str, **labels) -> dict | None:
+        """Summary dict of a histogram; None if never observed."""
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            h = self._hists.get(key)
+            return h.summary() if h is not None else None
+
     def get_value(self, name: str, **labels):
         """Read back a counter (or gauge) value; None if never published."""
         key = (name, tuple(sorted(labels.items())))
@@ -66,9 +162,11 @@ class CounterRegistry:
             return self._gauges.get(key)
 
     def snapshot(self) -> dict:
-        """Flat rendered dump: {"counters": {...}, "gauges": {...}}.
+        """Flat rendered dump: counters, gauges and histogram summaries.
 
         Keys are sorted so the dump is deterministic run-to-run.
+        Histograms appear only when at least one was observed, keeping
+        pre-existing artifacts byte-stable.
         """
         with self._lock:
             counters = {
@@ -78,17 +176,27 @@ class CounterRegistry:
             gauges = {
                 _render(n, lb): v for (n, lb), v in sorted(self._gauges.items())
             }
-        return {"counters": counters, "gauges": gauges}
+            hists = {
+                _render(n, lb): h.summary()
+                for (n, lb), h in sorted(self._hists.items())
+            }
+        out = {"counters": counters, "gauges": gauges}
+        if hists:
+            out["histograms"] = hists
+        return out
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
+            self._hists.clear()
 
 
 REGISTRY = CounterRegistry()
 
 add = REGISTRY.add
 set_gauge = REGISTRY.set_gauge
+observe = REGISTRY.observe
 get_value = REGISTRY.get_value
+get_histogram = REGISTRY.get_histogram
 snapshot = REGISTRY.snapshot

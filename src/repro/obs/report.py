@@ -83,6 +83,10 @@ ARTIFACT_SCHEMA = {
                     "type": "object",
                     "additionalProperties": {"type": "number"},
                 },
+                "histograms": {
+                    "type": "object",
+                    "additionalProperties": {"type": "object"},
+                },
             },
         },
     },
@@ -301,6 +305,19 @@ def render_report(doc: dict) -> str:
                 lines.append(
                     f"  {k} = {int(v) if float(v).is_integer() else v}"
                 )
+    hists = metrics.get("histograms") or {}
+    if hists:
+        lines.append("  -- histograms --")
+        for k in sorted(hists):
+            h = hists[k]
+            if not h.get("count"):
+                lines.append(f"  {k}: empty")
+                continue
+            lines.append(
+                f"  {k}: n={h['count']} sum={h['sum']:.6g} "
+                f"min={h['min']:.6g} max={h['max']:.6g} "
+                f"p50={h['p50']:.6g} p95={h['p95']:.6g} p99={h['p99']:.6g}"
+            )
     return "\n".join(lines)
 
 

@@ -50,6 +50,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "latest_checkpoint",
+    "prune_checkpoints",
     "ResilientSolveResult",
     "RecoveryEvent",
     "resilient_poisson_solve",
@@ -63,6 +64,7 @@ _LAZY = {
     "save_checkpoint": ("checkpoint", "save_checkpoint"),
     "load_checkpoint": ("checkpoint", "load_checkpoint"),
     "latest_checkpoint": ("checkpoint", "latest_checkpoint"),
+    "prune_checkpoints": ("checkpoint", "prune_checkpoints"),
     "ResilientSolveResult": ("recovery", "ResilientSolveResult"),
     "RecoveryEvent": ("recovery", "RecoveryEvent"),
     "resilient_poisson_solve": ("recovery", "resilient_poisson_solve"),

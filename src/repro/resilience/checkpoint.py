@@ -27,6 +27,7 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import re
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -45,6 +46,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "latest_checkpoint",
+    "prune_checkpoints",
 ]
 
 CKPT_SCHEMA_ID = "repro.resilience/ckpt.v1"
@@ -86,12 +88,18 @@ def save_checkpoint(
     scalars: dict[str, float] | None = None,
     name: str = "checkpoint",
     meta: dict | None = None,
+    keep_last: int | None = None,
 ) -> Path:
     """Write one ``ckpt.v1`` snapshot; returns the written path.
 
     Checkpoint volume is published to :mod:`repro.obs` as
     ``resilience.ckpt.writes`` / ``resilience.ckpt.bytes_written`` so
     run artifacts carry the checkpointing cost of a resilient solve.
+
+    ``keep_last=k`` prunes the checkpoint directory after the write so
+    only the k newest snapshots of this ``name`` survive — the
+    retention policy long-lived workers (e.g. :mod:`repro.serve`
+    deployments) use to keep checkpoint directories bounded.
     """
     path = Path(path)
     with span("resilience.ckpt.save") as osp:
@@ -128,6 +136,8 @@ def save_checkpoint(
         osp.add("bytes", len(text))
         obs_add("resilience.ckpt.writes", 1)
         obs_add("resilience.ckpt.bytes_written", len(text))
+    if keep_last is not None:
+        prune_checkpoints(path.parent, name=name, keep_last=keep_last)
     return path
 
 
@@ -162,19 +172,53 @@ def load_checkpoint(path) -> "Checkpoint":
     return Checkpoint(doc, path)
 
 
+def _step_order(path: Path) -> tuple[int, str]:
+    """(numeric step, filename) sort key for checkpoint files."""
+    m = re.search(r"_step(\d+)\.ckpt\.json$", path.name)
+    return (int(m.group(1)) if m else -1, path.name)
+
+
+def _sorted_checkpoints(directory: Path, name: str | None) -> list[Path]:
+    pattern = f"{name}_step*.ckpt.json" if name else "*.ckpt.json"
+    return sorted(directory.glob(pattern), key=_step_order)
+
+
 def latest_checkpoint(directory, name: str | None = None) -> Path | None:
     """Newest ``*.ckpt.json`` in ``directory`` by (step, filename).
 
-    Step order is read from the filename suffix written by the
-    recovery drivers (``<name>_step<k>.ckpt.json``); ties and foreign
-    files fall back to lexicographic order.
+    Step order is parsed numerically from the filename suffix written
+    by the recovery drivers (``<name>_step<k>.ckpt.json``), so
+    ``step10`` sorts after ``step2``; ties and foreign files fall back
+    to lexicographic order.
     """
     directory = Path(directory)
     if not directory.is_dir():
         return None
-    pattern = f"{name}_step*.ckpt.json" if name else "*.ckpt.json"
-    files = sorted(directory.glob(pattern))
+    files = _sorted_checkpoints(directory, name)
     return files[-1] if files else None
+
+
+def prune_checkpoints(directory, name: str | None = None,
+                      keep_last: int = 1) -> list[Path]:
+    """Delete all but the ``keep_last`` newest checkpoints of ``name``.
+
+    Ordering matches :func:`latest_checkpoint` (numeric step, then
+    filename), so the snapshots a recovery driver would restore from
+    are exactly the ones kept.  Returns the removed paths; publishes
+    ``resilience.ckpt.pruned`` to :mod:`repro.obs`.
+    """
+    if keep_last < 1:
+        raise ValueError("keep_last must be >= 1")
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    files = _sorted_checkpoints(directory, name)
+    removed = files[:-keep_last] if len(files) > keep_last else []
+    for path in removed:
+        path.unlink()
+    if removed:
+        obs_add("resilience.ckpt.pruned", len(removed))
+    return removed
 
 
 @dataclass

@@ -147,6 +147,7 @@ def resilient_poisson_solve(
     maxiter: int | None = None,
     max_recoveries: int = 2,
     name: str = "poisson",
+    keep_last: int | None = None,
 ) -> ResilientSolveResult:
     """Matrix-free distributed Jacobi-CG with checkpoint/restart.
 
@@ -210,6 +211,7 @@ def resilient_poisson_solve(
             vectors={"x": x, "r": r, "p": p},
             scalars={"rz": rz, "it": float(it), "rnorm": rnorm},
             name=name,
+            keep_last=keep_last,
         )
         ckpts_written += 1
 
@@ -306,6 +308,7 @@ class ResilientNSDriver:
         max_recoveries: int = 2,
         max_dt_halvings: int = 3,
         name: str = "ns",
+        keep_last: int | None = None,
     ):
         if not np.isfinite(problem.dt):
             raise ValueError("ResilientNSDriver requires a finite dt")
@@ -318,6 +321,7 @@ class ResilientNSDriver:
         self.max_recoveries = int(max_recoveries)
         self.max_dt_halvings = int(max_dt_halvings)
         self.name = name
+        self.keep_last = keep_last
         self.splits = partition_mesh(self.mesh, ranks, load_tol=0.1)
         self.layout = analyze_partition(self.mesh, self.splits)
         self.comm = SimComm(ranks)
@@ -333,6 +337,7 @@ class ResilientNSDriver:
             splits=self.layout.splits,
             vectors={"U": U, "P": P},
             name=self.name,
+            keep_last=self.keep_last,
         )
         self.checkpoints_written += 1
 

@@ -1,0 +1,296 @@
+"""Typed, versioned solve requests/responses (``repro.serve/req.v1``).
+
+The service boundary of :mod:`repro.serve`: a :class:`SolveRequest`
+names a geometry, a PDE kind, a refinement depth and solve parameters;
+a :class:`SolveResponse` carries the outcome plus the serving metadata
+(cache hit, batch size, virtual-clock timestamps, retries).  Both are
+plain dataclasses with a **canonical sha256 digest** over their
+sorted-key JSON document, which is what makes the whole serving layer
+checkable end to end: identical request streams must produce
+bit-identical response digests, and the CI smoke test asserts exactly
+that on the stream digest.
+
+Three digests matter, at three scopes:
+
+``SolveRequest.digest``
+    the full request identity (dedup / logging / audit).
+``SolveRequest.mesh_digest``
+    only the fields the *discretization* depends on (geometry +
+    refinement depth + element order + curve).  This is the cache
+    lookup key before a mesh exists; after the first build it is
+    aliased to the operator-plan fingerprint of
+    :func:`repro.core.plan.mesh_fingerprint`.
+``SolveRequest.batch_key``
+    ``mesh_digest`` + the operator/factor parameters (PDE kind,
+    tolerance, transport coefficients).  Requests sharing a batch key
+    share the cached factorization and are solved as one multi-RHS
+    block by :mod:`repro.serve.batcher`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+__all__ = [
+    "REQ_SCHEMA_ID",
+    "RESP_SCHEMA_ID",
+    "PDE_KINDS",
+    "SolveRequest",
+    "SolveResponse",
+    "Rejected",
+    "canonical_geometry",
+    "build_domain",
+    "solution_digest",
+]
+
+REQ_SCHEMA_ID = "repro.serve/req.v1"
+RESP_SCHEMA_ID = "repro.serve/resp.v1"
+
+#: Supported PDE kinds: strong-Dirichlet Poisson (batched multi-RHS
+#: CG), Shifted-Boundary-Method Poisson (cached LU), SUPG transport
+#: (cached implicit-Euler LU, block time stepping).
+PDE_KINDS = ("poisson", "sbm", "transport")
+
+_SHAPES = ("sphere", "box")
+
+
+def _sha256(doc: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def canonical_geometry(spec: dict) -> dict:
+    """Validate and canonicalise a geometry spec.
+
+    Two shapes cover the paper's workloads: ``sphere`` (a ball carved
+    out of the unit cube/square — the paper's carved-sphere benchmark)
+    and ``box`` (a retained box inside a larger cube — the channel).
+    All coordinates are coerced to floats so digests never depend on
+    int-vs-float spelling.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError("geometry must be a dict")
+    shape = spec.get("shape")
+    if shape not in _SHAPES:
+        raise ValueError(f"geometry shape must be one of {_SHAPES}, got {shape!r}")
+    out: dict = {"shape": shape, "scale": float(spec.get("scale", 1.0))}
+    if shape == "sphere":
+        center = [float(c) for c in spec["center"]]
+        if len(center) not in (2, 3):
+            raise ValueError("sphere center must be 2-D or 3-D")
+        out["center"] = center
+        out["radius"] = float(spec["radius"])
+        if out["radius"] <= 0:
+            raise ValueError("sphere radius must be positive")
+    else:  # box
+        lo = [float(c) for c in spec["lo"]]
+        hi = [float(c) for c in spec["hi"]]
+        if len(lo) != len(hi) or len(lo) not in (2, 3):
+            raise ValueError("box lo/hi must both be 2-D or 3-D")
+        out["lo"], out["hi"] = lo, hi
+        if "domain_hi" in spec:
+            out["domain_hi"] = [float(c) for c in spec["domain_hi"]]
+    return out
+
+
+def build_domain(geometry: dict):
+    """Instantiate the :class:`repro.core.domain.Domain` of a spec."""
+    from ..core.domain import Domain
+    from ..geometry import BoxRetain, SphereCarve
+
+    geo = canonical_geometry(geometry)
+    if geo["shape"] == "sphere":
+        pred = SphereCarve(geo["center"], geo["radius"])
+    else:
+        dim = len(geo["lo"])
+        dom_hi = geo.get("domain_hi", [geo["scale"]] * dim)
+        pred = BoxRetain(geo["lo"], geo["hi"], domain=([0.0] * dim, dom_hi))
+    return Domain(pred, scale=geo["scale"])
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One versioned solve request (schema ``repro.serve/req.v1``).
+
+    ``deadline`` and ``priority`` drive the scheduler: a request whose
+    dispatch would start later than ``t_submit + deadline`` virtual
+    ticks is rejected with ``deadline_exceeded``; lower ``priority``
+    values dispatch first (ties broken by request digest, so the
+    schedule is independent of arrival interleaving).
+    """
+
+    geometry: dict = field(
+        default_factory=lambda: {"shape": "sphere",
+                                 "center": (0.5, 0.5), "radius": 0.3}
+    )
+    pde: str = "poisson"
+    base_level: int = 2
+    boundary_level: int = 3
+    p: int = 1
+    tol: float = 1e-10
+    deadline: int | None = None
+    priority: int = 4
+    #: source amplitude (RHS scale) — the per-request column of a batch
+    f: float = 1.0
+    #: constant Dirichlet boundary value
+    g: float = 0.0
+    # transport-only coefficients
+    velocity: tuple = (1.0, 0.0, 0.0)
+    kappa: float = 0.01
+    dt: float = 0.1
+    steps: int = 1
+
+    def validate(self) -> None:
+        if self.pde not in PDE_KINDS:
+            raise ValueError(f"pde must be one of {PDE_KINDS}, got {self.pde!r}")
+        canonical_geometry(self.geometry)
+        if not (0 < self.base_level <= self.boundary_level):
+            raise ValueError("need 0 < base_level <= boundary_level")
+        if self.p not in (1, 2):
+            raise ValueError("element order p must be 1 or 2")
+        if self.tol <= 0:
+            raise ValueError("tol must be positive")
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError("deadline must be non-negative")
+        if self.pde == "transport" and self.steps < 1:
+            raise ValueError("transport needs steps >= 1")
+
+    # -- canonical documents and digests --------------------------------
+
+    def to_doc(self) -> dict:
+        doc = {"schema": REQ_SCHEMA_ID}
+        for fld in fields(self):
+            v = getattr(self, fld.name)
+            if fld.name == "geometry":
+                v = canonical_geometry(v)
+            elif fld.name == "velocity":
+                v = [float(c) for c in v]
+            elif isinstance(v, float):
+                v = float(v)
+            doc[fld.name] = v
+        return doc
+
+    @property
+    def digest(self) -> str:
+        """Canonical sha256 identity of the full request."""
+        return _sha256(self.to_doc())
+
+    def mesh_doc(self) -> dict:
+        """The discretization-determining subset of the request."""
+        return {
+            "geometry": canonical_geometry(self.geometry),
+            "base_level": self.base_level,
+            "boundary_level": self.boundary_level,
+            "p": self.p,
+            "curve": "morton",
+        }
+
+    @property
+    def mesh_digest(self) -> str:
+        """Cache lookup key before the mesh (and its operator-plan
+        fingerprint) exists."""
+        return _sha256(self.mesh_doc())
+
+    def solver_doc(self) -> dict:
+        doc = {"mesh": self.mesh_doc(), "pde": self.pde, "tol": self.tol}
+        if self.pde == "transport":
+            doc["velocity"] = [float(c) for c in self.velocity]
+            doc["kappa"] = self.kappa
+            doc["dt"] = self.dt
+            doc["steps"] = self.steps
+        return doc
+
+    @property
+    def batch_key(self) -> str:
+        """Requests with equal batch keys share one cached factor and
+        solve as one multi-RHS block."""
+        return _sha256(self.solver_doc())
+
+    def build_mesh(self):
+        """Construct the request's mesh (cold path only — the cache
+        makes this a once-per-fingerprint event)."""
+        from ..core.mesh import build_mesh
+
+        return build_mesh(
+            build_domain(self.geometry), self.base_level,
+            self.boundary_level, p=self.p, curve="morton",
+        )
+
+
+def solution_digest(u: np.ndarray) -> str:
+    """Content digest of a solution array (dtype/shape-aware)."""
+    a = np.ascontiguousarray(u)
+    h = hashlib.sha256()
+    h.update(f"{a.dtype.str}|{a.shape}|".encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class SolveResponse:
+    """Outcome of one request (schema ``repro.serve/resp.v1``).
+
+    ``status`` is ``"ok"``, ``"rejected"`` (admission control or
+    deadline — see :class:`Rejected`) or ``"failed"`` (the solver gave
+    up: ``maxiter`` or ``retries_exhausted``).  Timestamps are virtual
+    scheduler ticks, so they — and therefore :attr:`digest` — are
+    bit-reproducible across runs and machines.
+    """
+
+    request_digest: str
+    status: str
+    pde: str = ""
+    reason: str = ""
+    cache_hit: bool = False
+    batch_size: int = 0
+    iterations: int = 0
+    residual: float = 0.0
+    solution_digest: str = ""
+    t_submit: int = 0
+    t_start: int = 0
+    t_done: int = 0
+    retries: int = 0
+
+    def to_doc(self) -> dict:
+        doc = {"schema": RESP_SCHEMA_ID}
+        for fld in fields(self):
+            doc[fld.name] = getattr(self, fld.name)
+        return doc
+
+    @property
+    def digest(self) -> str:
+        """Canonical sha256 over the full response document."""
+        return _sha256(self.to_doc())
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def latency(self) -> int:
+        """Virtual ticks between submission and completion."""
+        return self.t_done - self.t_submit
+
+
+class Rejected(SolveResponse):
+    """Typed backpressure response: the request was never solved.
+
+    ``reason`` is ``"queue_full"`` (bounded admission) or
+    ``"deadline_exceeded"`` (the scheduler could not dispatch the
+    request before its deadline).  Being a :class:`SolveResponse`
+    subclass, rejections flow through the same response stream and
+    stream digest as successful solves.
+    """
+
+    def __init__(self, request_digest: str, reason: str, *, pde: str = "",
+                 t_submit: int = 0, t_done: int = 0, retries: int = 0):
+        super().__init__(
+            request_digest=request_digest, status="rejected", pde=pde,
+            reason=reason, t_submit=t_submit, t_start=t_done, t_done=t_done,
+            retries=retries,
+        )

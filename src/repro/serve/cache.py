@@ -1,0 +1,187 @@
+"""Content-addressed artifact cache with byte-budgeted LRU eviction.
+
+The cache is what turns the repo's one-shot pipeline into a service:
+the expensive artifacts of a discretization — the carved mesh, its
+:class:`repro.core.plan.OperatorContext` and any factorized operators
+(assembled stiffness + Jacobi diagonal, SBM LU, transport LU) — are
+built once and then served to every request that shares the
+operator-plan fingerprint.  A cache-hot request never opens a
+``build_mesh`` / ``plan.context_build`` span at all; the smoke tests
+assert that.
+
+Keying is two-level, both content-addressed:
+
+* entries are stored under the **plan fingerprint** of
+  :func:`repro.core.plan.mesh_fingerprint` (the post-build truth);
+* the request-side **mesh digest** (geometry + depth + order, known
+  before any build) is aliased to the fingerprint on first insert, so
+  later requests resolve without rebuilding anything.
+
+Eviction is deterministic LRU over a byte budget: entries are ranked
+by a monotonically increasing use sequence (no wall clock anywhere),
+so identical request streams evict identically — the determinism tests
+replay a stream under different arrival interleavings and assert the
+eviction order matches.  Metrics: ``serve.cache.{hits,misses,
+evictions}`` counters and ``serve.cache.{bytes,entries}`` gauges.
+"""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from ..obs import add as obs_add
+from ..obs import set_gauge
+
+__all__ = ["CacheEntry", "ArtifactCache"]
+
+
+def _obj_nbytes(obj) -> int:
+    """Best-effort byte size of a cached artifact."""
+    if obj is None:
+        return 0
+    if sp.issparse(obj):
+        return sum(
+            getattr(obj, a).nbytes
+            for a in ("data", "indices", "indptr")
+            if hasattr(obj, a)
+        )
+    if hasattr(obj, "nbytes"):
+        return int(obj.nbytes)
+    return 0
+
+
+def _entry_base_nbytes(mesh, ctx) -> int:
+    total = mesh.leaves.anchors.nbytes + mesh.leaves.levels.nbytes
+    total += mesh.nodes.coords.nbytes
+    total += _obj_nbytes(ctx.gather)
+    total += ctx.h.nbytes + ctx.levels.nbytes
+    return int(total)
+
+
+class CacheEntry:
+    """One discretization's artifacts: mesh + operator context + factors.
+
+    ``factors`` maps a solver-parameter digest
+    (:attr:`repro.serve.api.SolveRequest.batch_key`) to a factor object
+    built by :mod:`repro.serve.batcher`; each factor reports its own
+    byte estimate so the cache can account for it.
+    """
+
+    __slots__ = ("fingerprint", "mesh", "ctx", "factors", "_factor_nbytes",
+                 "_base_nbytes", "last_used")
+
+    def __init__(self, fingerprint: str, mesh, ctx):
+        self.fingerprint = fingerprint
+        self.mesh = mesh
+        self.ctx = ctx
+        self.factors: dict[str, object] = {}
+        self._factor_nbytes: dict[str, int] = {}
+        self._base_nbytes = _entry_base_nbytes(mesh, ctx)
+        self.last_used = 0
+
+    def add_factor(self, key: str, factor, nbytes: int) -> None:
+        self.factors[key] = factor
+        self._factor_nbytes[key] = int(nbytes)
+
+    @property
+    def nbytes(self) -> int:
+        return self._base_nbytes + sum(self._factor_nbytes.values())
+
+
+class ArtifactCache:
+    """Deterministic byte-budgeted LRU over :class:`CacheEntry` objects."""
+
+    def __init__(self, byte_budget: int = 256 << 20):
+        self.byte_budget = int(byte_budget)
+        self._entries: dict[str, CacheEntry] = {}   # fingerprint → entry
+        self._alias: dict[str, str] = {}            # mesh digest → fingerprint
+        self._seq = 0
+        self.hits = 0
+        self.misses = 0
+        #: fingerprints in eviction order — asserted bit-identical by
+        #: the interleaving-determinism tests
+        self.eviction_log: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(e.nbytes for e in self._entries.values())
+
+    def _touch(self, entry: CacheEntry) -> None:
+        self._seq += 1
+        entry.last_used = self._seq
+
+    def lookup(self, mesh_digest: str) -> CacheEntry | None:
+        """Resolve a request-side mesh digest; publishes hit/miss."""
+        fp = self._alias.get(mesh_digest)
+        entry = self._entries.get(fp) if fp is not None else None
+        if entry is None:
+            self.misses += 1
+            obs_add("serve.cache.misses", 1)
+            return None
+        self.hits += 1
+        obs_add("serve.cache.hits", 1)
+        self._touch(entry)
+        return entry
+
+    def insert(self, mesh_digest: str, entry: CacheEntry) -> CacheEntry:
+        """Insert (or re-alias to an existing fingerprint) and enforce
+        the byte budget.  The inserted entry itself is never evicted by
+        its own insertion."""
+        existing = self._entries.get(entry.fingerprint)
+        if existing is not None:
+            # two mesh specs can legitimately hash to the same carved
+            # discretization — share the entry, keep one copy
+            self._alias[mesh_digest] = existing.fingerprint
+            self._touch(existing)
+            return existing
+        self._entries[entry.fingerprint] = entry
+        self._alias[mesh_digest] = entry.fingerprint
+        self._touch(entry)
+        self.enforce_budget(protect=entry.fingerprint)
+        self._publish_gauges()
+        return entry
+
+    def enforce_budget(self, protect: str | None = None) -> None:
+        """Evict least-recently-used entries until within budget.
+
+        ``protect`` pins one fingerprint (the entry being served right
+        now); if that single entry alone exceeds the budget it stays —
+        a service cannot refuse to hold the discretization it is
+        actively solving on.
+        """
+        while self.nbytes > self.byte_budget and len(self._entries) > 1:
+            victim = min(
+                (e for e in self._entries.values()
+                 if e.fingerprint != protect),
+                key=lambda e: e.last_used,
+                default=None,
+            )
+            if victim is None:
+                break
+            self._evict(victim)
+        self._publish_gauges()
+
+    def _evict(self, entry: CacheEntry) -> None:
+        del self._entries[entry.fingerprint]
+        for k in [k for k, fp in self._alias.items()
+                  if fp == entry.fingerprint]:
+            del self._alias[k]
+        self.eviction_log.append(entry.fingerprint)
+        obs_add("serve.cache.evictions", 1)
+
+    def _publish_gauges(self) -> None:
+        set_gauge("serve.cache.bytes", self.nbytes)
+        set_gauge("serve.cache.entries", len(self._entries))
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.nbytes,
+            "byte_budget": self.byte_budget,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": len(self.eviction_log),
+        }

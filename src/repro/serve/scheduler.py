@@ -1,0 +1,179 @@
+"""Deterministic virtual-clock scheduling: priorities, admission, retry.
+
+The serving loop runs on a **virtual clock** (integer ticks, no wall
+time anywhere — the simmpi style): every unit of work advances the
+clock by a deterministic cost derived from the work's own discrete
+outputs (elements built, operator applications, columns solved).  Two
+runs of the same request stream therefore see identical timestamps,
+identical deadline outcomes and identical backoff windows — which is
+what lets the response digests be bit-identical.
+
+Mechanics, all bounded and typed:
+
+* **Priority queue** — dispatch picks the eligible item minimising
+  ``(priority, request digest, arrival seq)``.  Tie-breaking by
+  *digest* rather than arrival order means any interleaving of the
+  same request set produces the same schedule (asserted by the cache
+  determinism tests); the arrival sequence only separates byte-equal
+  duplicates, which are interchangeable anyway.
+* **Bounded admission** — at most ``max_pending`` queued items; the
+  service turns an admission refusal into a typed
+  :class:`repro.serve.api.Rejected` (``queue_full``) response.
+* **Deadlines** — an item whose dispatch would start after
+  ``t_submit + deadline`` is expired with ``deadline_exceeded``.
+* **Retry with backoff** — when a batch dies with
+  :class:`repro.resilience.faults.SolverBreakdown`, its members are
+  re-queued ``backoff * 2**retries`` ticks into the virtual future (up
+  to ``max_retries``); the clock jumps forward when only backed-off
+  work remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .api import SolveRequest
+
+__all__ = [
+    "VirtualClock",
+    "PendingItem",
+    "Scheduler",
+    "cost_build",
+    "cost_factor",
+    "cost_solve",
+]
+
+# -- deterministic cost model (ticks) -----------------------------------
+#
+# The absolute scale is arbitrary; only the *ratios* matter for the
+# scheduling semantics.  Mesh construction dominates (the paper's whole
+# point is amortizing it), factorization is cheaper, and a batched
+# solve pays one traversal-scale term per operator application plus a
+# small per-column term.
+
+TICKS_PER_ELEMENT_BUILD = 8
+TICKS_PER_NODE_FACTOR = 2
+TICKS_PER_NODE_MATVEC = 1
+TICKS_PER_COLUMN = 16
+
+
+def cost_build(n_elem: int) -> int:
+    return TICKS_PER_ELEMENT_BUILD * int(n_elem)
+
+
+def cost_factor(n_nodes: int) -> int:
+    return TICKS_PER_NODE_FACTOR * int(n_nodes)
+
+
+def cost_solve(n_nodes: int, matvecs: int, columns: int) -> int:
+    return (
+        TICKS_PER_NODE_MATVEC * int(n_nodes) * max(int(matvecs), 1)
+        + TICKS_PER_COLUMN * int(columns)
+    )
+
+
+class VirtualClock:
+    """Monotonic integer tick counter — the service's only notion of time."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def advance(self, ticks: int) -> int:
+        if ticks < 0:
+            raise ValueError("the virtual clock cannot run backwards")
+        self.now += int(ticks)
+        return self.now
+
+    def jump_to(self, t: int) -> int:
+        self.now = max(self.now, int(t))
+        return self.now
+
+
+@dataclass
+class PendingItem:
+    """One admitted request waiting for dispatch."""
+
+    request: SolveRequest
+    digest: str
+    t_submit: int
+    seq: int
+    not_before: int = 0
+    retries: int = 0
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.request.priority, self.digest, self.seq)
+
+    def expired(self, now: int) -> bool:
+        d = self.request.deadline
+        return d is not None and now > self.t_submit + d
+
+
+class Scheduler:
+    """Bounded, deterministic dispatch queue over :class:`PendingItem`."""
+
+    def __init__(self, *, max_pending: int = 128, max_batch: int = 8,
+                 max_retries: int = 2, backoff: int = 1000):
+        if max_batch < 1 or max_pending < 1:
+            raise ValueError("max_pending and max_batch must be >= 1")
+        self.max_pending = int(max_pending)
+        self.max_batch = int(max_batch)
+        self.max_retries = int(max_retries)
+        self.backoff = int(backoff)
+        self.pending: list[PendingItem] = []
+        self._seq = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self.pending)
+
+    def submit(self, request: SolveRequest, clock: VirtualClock
+               ) -> PendingItem | None:
+        """Admit a request; None means the queue is full (backpressure)."""
+        if len(self.pending) >= self.max_pending:
+            return None
+        self._seq += 1
+        item = PendingItem(
+            request=request, digest=request.digest,
+            t_submit=clock.now, seq=self._seq, not_before=clock.now,
+        )
+        self.pending.append(item)
+        return item
+
+    def requeue(self, item: PendingItem, clock: VirtualClock) -> None:
+        """Back off a broken-down item: eligible again at
+        ``now + backoff * 2**retries``."""
+        item.retries += 1
+        item.not_before = clock.now + self.backoff * 2 ** (item.retries - 1)
+        self.pending.append(item)
+
+    def next_batch(self, clock: VirtualClock
+                   ) -> tuple[list[PendingItem], list[PendingItem]]:
+        """Pop the next batch to execute plus any expired items.
+
+        Expired items (deadline already missed at ``clock.now``) are
+        removed first.  If every survivor is backed off into the
+        future, the clock jumps to the earliest ``not_before`` (virtual
+        time has nothing else to do).  The batch is every eligible item
+        sharing the head item's batch key, in dispatch order, capped at
+        ``max_batch``.
+        """
+        expired = [it for it in self.pending if it.expired(clock.now)]
+        for it in expired:
+            self.pending.remove(it)
+        if not self.pending:
+            return [], expired
+        eligible = [it for it in self.pending if it.not_before <= clock.now]
+        if not eligible:
+            clock.jump_to(min(it.not_before for it in self.pending))
+            eligible = [it for it in self.pending
+                        if it.not_before <= clock.now]
+        head = min(eligible, key=lambda it: it.sort_key)
+        key = head.request.batch_key
+        batch = sorted(
+            (it for it in eligible if it.request.batch_key == key),
+            key=lambda it: it.sort_key,
+        )[: self.max_batch]
+        for it in batch:
+            self.pending.remove(it)
+        return batch, expired

@@ -1,0 +1,272 @@
+"""The in-process solver service: facade, synchronous client, workload.
+
+:class:`SolverService` composes the serving stack — typed requests
+(:mod:`repro.serve.api`), the content-addressed artifact cache
+(:mod:`repro.serve.cache`), fingerprint batching
+(:mod:`repro.serve.batcher`) and the deterministic virtual-clock
+scheduler (:mod:`repro.serve.scheduler`) — behind two calls::
+
+    svc = SolverService(cache_bytes=64 << 20, max_batch=8)
+    for req in workload:
+        svc.submit(req)        # → Rejected on admission refusal
+    responses = svc.drain()    # completion order
+    svc.stream_digest          # sha256 chain over response digests
+
+Every completed response folds its canonical digest into a running
+**stream digest** in completion order; replaying an identical request
+stream reproduces it bit for bit (the CI smoke step runs the demo
+workload twice and diffs the digests).  Per-request observability:
+``serve.request`` spans, ``serve.requests{status=…}`` counters, a
+``serve.latency_ticks`` histogram and a ``serve.queue_depth`` gauge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..obs import Histogram
+from ..obs import add as obs_add
+from ..obs import observe as obs_observe
+from ..obs import set_gauge, span
+from ..resilience.faults import SolverBreakdown
+from .api import Rejected, SolveRequest, SolveResponse
+from .batcher import build_entry, ensure_factor, solve_batch
+from .cache import ArtifactCache
+from .scheduler import (
+    PendingItem,
+    Scheduler,
+    VirtualClock,
+    cost_build,
+    cost_factor,
+    cost_solve,
+)
+
+__all__ = ["SolverService", "SolverClient", "demo_workload"]
+
+
+class SolverService:
+    """Deterministic in-process solver-as-a-service facade.
+
+    ``fault_injector(request, retries)`` is the resilience hook: called
+    before each batch member executes, it may raise
+    :class:`~repro.resilience.faults.SolverBreakdown` to exercise the
+    retry-with-backoff path (the serve analogue of
+    :class:`repro.resilience.faults.FaultSchedule`).  Real Krylov
+    breakdowns surface through the same path.
+    """
+
+    def __init__(self, *, cache_bytes: int = 256 << 20,
+                 max_pending: int = 128, max_batch: int = 8,
+                 max_retries: int = 2, backoff: int = 1000,
+                 fault_injector=None):
+        self.cache = ArtifactCache(cache_bytes)
+        self.scheduler = Scheduler(
+            max_pending=max_pending, max_batch=max_batch,
+            max_retries=max_retries, backoff=backoff,
+        )
+        self.clock = VirtualClock()
+        self.fault_injector = fault_injector
+        self.responses: list[SolveResponse] = []
+        self.latency = Histogram()
+        self.batches = 0
+        self.batched_requests = 0
+        self._status_counts: dict[str, int] = {}
+        self._stream = hashlib.sha256()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, request: SolveRequest) -> SolveResponse | None:
+        """Admit a request.  Returns ``None`` on acceptance or a typed
+        :class:`Rejected` (already finalized into the stream) when the
+        queue is full."""
+        request.validate()
+        item = self.scheduler.submit(request, self.clock)
+        if item is None:
+            rej = Rejected(
+                request.digest, "queue_full", pde=request.pde,
+                t_submit=self.clock.now, t_done=self.clock.now,
+            )
+            self._finalize(rej)
+            return rej
+        set_gauge("serve.queue_depth", self.scheduler.depth)
+        return None
+
+    # -- the serving loop ------------------------------------------------
+
+    def drain(self) -> list[SolveResponse]:
+        """Run the event loop until the queue is empty; returns the
+        responses completed by this call, in completion order."""
+        done: list[SolveResponse] = []
+        while self.scheduler.depth:
+            batch, expired = self.scheduler.next_batch(self.clock)
+            for it in expired:
+                done.append(self._finalize(Rejected(
+                    it.digest, "deadline_exceeded", pde=it.request.pde,
+                    t_submit=it.t_submit, t_done=self.clock.now,
+                    retries=it.retries,
+                )))
+            set_gauge("serve.queue_depth", self.scheduler.depth)
+            if batch:
+                done.extend(self._run_batch(batch))
+        return done
+
+    def _run_batch(self, batch: list[PendingItem]) -> list[SolveResponse]:
+        req0 = batch[0].request
+        out: list[SolveResponse] = []
+        with span("serve.batch", pde=req0.pde) as bsp:
+            t_start = self.clock.now
+            entry = self.cache.lookup(req0.mesh_digest)
+            hit = entry is not None
+            if entry is None:
+                entry = build_entry(req0)
+                self.clock.advance(cost_build(entry.mesh.n_elem))
+                entry = self.cache.insert(req0.mesh_digest, entry)
+            factor, built = ensure_factor(entry, req0)
+            if built:
+                self.clock.advance(cost_factor(entry.mesh.n_nodes))
+                self.cache.enforce_budget(protect=entry.fingerprint)
+            try:
+                if self.fault_injector is not None:
+                    for it in batch:
+                        self.fault_injector(it.request, it.retries)
+                outcome = solve_batch(factor, [it.request for it in batch])
+            except SolverBreakdown as exc:
+                bsp.event("solver_breakdown",
+                          reason=getattr(exc, "reason", "breakdown"))
+                obs_add("serve.breakdowns", 1)
+                return self._handle_breakdown(batch)
+            self.clock.advance(cost_solve(
+                entry.mesh.n_nodes, outcome.matvecs, len(batch)
+            ))
+            bsp.add("requests", len(batch))
+            bsp.add("cache_hit", int(hit))
+            self.batches += 1
+            self.batched_requests += len(batch)
+            for j, it in enumerate(batch):
+                reason = outcome.reasons[j]
+                status = "ok" if reason in ("converged", "direct") else "failed"
+                resp = SolveResponse(
+                    request_digest=it.digest, status=status,
+                    pde=it.request.pde, reason=reason, cache_hit=hit,
+                    batch_size=len(batch),
+                    iterations=outcome.iterations[j],
+                    residual=outcome.residuals[j],
+                    solution_digest=outcome.digest(j),
+                    t_submit=it.t_submit, t_start=t_start,
+                    t_done=self.clock.now, retries=it.retries,
+                )
+                out.append(self._finalize(resp))
+        return out
+
+    def _handle_breakdown(self, batch: list[PendingItem]
+                          ) -> list[SolveResponse]:
+        """Retry-with-backoff on SolverBreakdown, typed failure when
+        the retry budget is spent."""
+        out = []
+        for it in batch:
+            if it.retries >= self.scheduler.max_retries:
+                out.append(self._finalize(SolveResponse(
+                    request_digest=it.digest, status="failed",
+                    pde=it.request.pde, reason="retries_exhausted",
+                    t_submit=it.t_submit, t_start=self.clock.now,
+                    t_done=self.clock.now, retries=it.retries,
+                )))
+            else:
+                self.scheduler.requeue(it, self.clock)
+                obs_add("serve.retries", 1)
+        set_gauge("serve.queue_depth", self.scheduler.depth)
+        return out
+
+    # -- response stream -------------------------------------------------
+
+    def _finalize(self, resp: SolveResponse) -> SolveResponse:
+        self.responses.append(resp)
+        self._stream.update(resp.digest.encode())
+        self._status_counts[resp.status] = (
+            self._status_counts.get(resp.status, 0) + 1
+        )
+        self.latency.observe(resp.latency)
+        with span("serve.request", merge=True) as rsp:
+            rsp.add("requests", 1)
+            rsp.add("latency_ticks", resp.latency)
+        obs_add("serve.requests", 1, status=resp.status)
+        obs_observe("serve.latency_ticks", resp.latency)
+        return resp
+
+    @property
+    def stream_digest(self) -> str:
+        """sha256 chained over response digests in completion order —
+        the single value that certifies a deterministic replay."""
+        return self._stream.hexdigest()
+
+    def stats(self) -> dict:
+        mean_batch = (
+            self.batched_requests / self.batches if self.batches else 0.0
+        )
+        return {
+            "responses": len(self.responses),
+            "status": dict(sorted(self._status_counts.items())),
+            "batches": self.batches,
+            "mean_batch_size": round(mean_batch, 3),
+            "clock_ticks": self.clock.now,
+            "latency_ticks": self.latency.summary(),
+            "cache": self.cache.stats(),
+            "stream_digest": self.stream_digest,
+        }
+
+
+class SolverClient:
+    """Synchronous convenience wrapper: submit one request, drain, and
+    return that request's response."""
+
+    def __init__(self, service: SolverService):
+        self.service = service
+
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        rejected = self.service.submit(request)
+        if rejected is not None:
+            return rejected
+        digest = request.digest
+        completed = self.service.drain()
+        matches = [r for r in completed if r.request_digest == digest]
+        if not matches:  # pragma: no cover - drain always resolves the queue
+            raise RuntimeError(f"request {digest[:12]}… was never completed")
+        return matches[-1]
+
+
+def demo_workload(n: int = 30, seed: int = 0,
+                  base_level: int = 2, boundary_level: int = 3
+                  ) -> list[SolveRequest]:
+    """A deterministic mixed workload: a few discretizations × three
+    PDE kinds × per-request RHS amplitudes and priorities.
+
+    Used by the ``serve-demo`` CLI, the throughput bench and the replay
+    tests; the same ``(n, seed)`` always generates byte-identical
+    requests.
+    """
+    disk = {"shape": "sphere", "center": (0.5, 0.5), "radius": 0.3}
+    small_disk = {"shape": "sphere", "center": (0.5, 0.5), "radius": 0.2}
+    channel = {"shape": "box", "lo": (0.0, 0.0), "hi": (4.0, 1.0),
+               "domain_hi": (4.0, 4.0), "scale": 4.0}
+    templates = [
+        dict(geometry=disk, pde="poisson"),
+        dict(geometry=small_disk, pde="poisson"),
+        dict(geometry=disk, pde="sbm"),
+        dict(geometry=channel, pde="transport",
+             velocity=(1.0, 0.0), kappa=0.05, dt=0.2, steps=2),
+        dict(geometry=small_disk, pde="poisson"),
+        dict(geometry=disk, pde="poisson"),
+    ]
+    rng = np.random.default_rng(seed)
+    reqs = []
+    for i in range(n):
+        t = templates[i % len(templates)]
+        reqs.append(SolveRequest(
+            base_level=base_level, boundary_level=boundary_level,
+            f=round(float(rng.uniform(0.5, 2.0)), 6),
+            priority=int(rng.integers(0, 3)),
+            **t,
+        ))
+    return reqs

@@ -31,6 +31,12 @@ class KrylovResult:
     ``converged`` is True **only** for ``reason == "converged"``; a
     breakdown or non-finite exit never reports success, even if the
     last residual norm happened to sit below the tolerance.
+
+    For a multi-RHS block solve (``b`` of shape ``(n, k)``), ``x`` is
+    ``(n, k)``, the scalar fields aggregate over columns (worst
+    residual, total iterations, all-columns ``converged``) and the
+    per-column outcome is carried in ``col_iterations`` /
+    ``col_residuals`` / ``col_reasons``.
     """
 
     x: np.ndarray
@@ -39,6 +45,9 @@ class KrylovResult:
     converged: bool
     matvecs: int = 0
     reason: str = "maxiter"
+    col_iterations: np.ndarray | None = None
+    col_residuals: np.ndarray | None = None
+    col_reasons: tuple[str, ...] | None = None
 
 
 def _as_op(A) -> Operator:
@@ -47,6 +56,128 @@ def _as_op(A) -> Operator:
     if sp.issparse(A) or isinstance(A, np.ndarray):
         return lambda v: A @ v
     raise TypeError(f"cannot interpret {type(A)} as a linear operator")
+
+
+def _apply_columns(M: Operator, R: np.ndarray) -> np.ndarray:
+    """Apply a single-vector preconditioner column-by-column."""
+    out = np.empty_like(R)
+    for j in range(R.shape[1]):
+        out[:, j] = M(R[:, j])
+    return out
+
+
+def _col_dots(U: np.ndarray, V: np.ndarray) -> np.ndarray:
+    """Per-column inner products ⟨u_j, v_j⟩ of two (n, k) blocks."""
+    return np.einsum("ij,ij->j", U, V)
+
+
+def _cg_block(
+    A,
+    B: np.ndarray,
+    x0: np.ndarray | None,
+    M: Operator | None,
+    rtol: float,
+    atol: float,
+    maxiter: int | None,
+    callback: Callable[[int, float], None] | None,
+) -> KrylovResult:
+    """Multi-RHS CG: k independent recurrences advanced in lockstep.
+
+    Each column carries its own ``alpha``/``beta`` scalars, so the
+    iterates are mathematically identical to k separate single-RHS
+    solves — but every iteration applies the operator to the whole
+    ``(n, k)`` block at once (one SpMM / one traversal instead of k
+    SpMVs), which is what makes fingerprint-grouped request batching in
+    :mod:`repro.serve` pay one traversal per batch.  Columns freeze as
+    they converge (their search direction is zeroed) and per-column
+    breakdowns are recorded without stopping the surviving columns.
+    """
+    with span("solver.cg") as osp:
+        op = _as_op(A)
+        B = np.asarray(B, float)
+        n, k = B.shape
+        maxiter = maxiter or 10 * n
+        X = np.zeros((n, k)) if x0 is None else np.asarray(x0, float).copy()
+        R = B - op(X)
+        nmv = 1
+        Z = _apply_columns(M, R) if M else R.copy()
+        P = Z.copy()
+        rz = _col_dots(R, Z)
+        bnorm = np.linalg.norm(B, axis=0)
+        tol = np.maximum(rtol * np.where(bnorm == 0.0, 1.0, bnorm), atol)
+        rnorm = np.linalg.norm(R, axis=0)
+        residuals = [float(rnorm.max())]
+        col_it = np.zeros(k, np.int64)
+        col_reason = np.array(["maxiter"] * k, object)
+        nonfin = ~np.isfinite(rnorm)
+        col_reason[nonfin] = "nonfinite"
+        done0 = ~nonfin & (rnorm <= tol)
+        col_reason[done0] = "converged"
+        active = ~nonfin & ~done0
+        P[:, ~active] = 0.0
+        it = 0
+        while active.any() and it < maxiter:
+            with span("solver.iteration", merge=True) as isp:
+                AP = op(P)
+                nmv += 1
+                pAp = _col_dots(P, AP)
+                bad = active & ~np.isfinite(pAp)
+                brk = active & np.isfinite(pAp) & (pAp == 0.0)
+                col_reason[bad] = "nonfinite"
+                col_reason[brk] = "breakdown"
+                col_it[bad | brk] = it
+                active &= ~(bad | brk)
+                if bad.any() or brk.any():
+                    P[:, bad | brk] = 0.0
+                if not active.any():
+                    break
+                alpha = np.where(
+                    active, rz / np.where(pAp == 0.0, 1.0, pAp), 0.0
+                )
+                X += alpha[None, :] * P
+                R -= alpha[None, :] * AP
+                rnorm = np.linalg.norm(R, axis=0)
+                isp.add("matvecs", 1)
+            it += 1
+            residuals.append(float(rnorm.max()))
+            if callback is not None:
+                callback(it, float(rnorm.max()))
+            nonfin = active & ~np.isfinite(rnorm)
+            col_reason[nonfin] = "nonfinite"
+            col_it[nonfin] = it
+            done = active & ~nonfin & (rnorm <= tol)
+            col_reason[done] = "converged"
+            col_it[done] = it
+            active &= ~(nonfin | done)
+            if not active.any():
+                break
+            Z = _apply_columns(M, R) if M else R.copy()
+            rz_new = _col_dots(R, Z)
+            beta = np.where(active, rz_new / np.where(rz == 0.0, 1.0, rz), 0.0)
+            P = np.where(active[None, :], Z + beta[None, :] * P, 0.0)
+            rz = rz_new
+        col_it[active] = it  # columns that ran out of iterations
+        reasons = tuple(str(r) for r in col_reason)
+        if "nonfinite" in reasons:
+            reason = "nonfinite"
+        elif "breakdown" in reasons:
+            reason = "breakdown"
+        elif "maxiter" in reasons:
+            reason = "maxiter"
+        else:
+            reason = "converged"
+        osp.add("iterations", it)
+        osp.add("matvecs", nmv)
+        osp.add("columns", k)
+        osp.set("residual_history", residuals)
+        osp.set("reason", reason)
+    return KrylovResult(
+        X, it, float(rnorm.max()) if k else 0.0, reason == "converged",
+        nmv, reason,
+        col_iterations=col_it,
+        col_residuals=rnorm.copy(),
+        col_reasons=reasons,
+    )
 
 
 def cg(
@@ -64,7 +195,15 @@ def cg(
     ``callback(it, rnorm)`` is invoked after every iteration; the
     per-iteration residual history is also attached to the
     ``solver.cg`` trace span when :mod:`repro.obs` is enabled.
+
+    A 2-D ``b`` of shape ``(n, k)`` selects the multi-RHS block path:
+    all k systems share every operator application (the operator must
+    then accept ``(n, k)`` blocks — assembled matrices do), with
+    per-column convergence bookkeeping.  ``M`` is still a single-vector
+    preconditioner; it is applied column-wise.
     """
+    if getattr(b, "ndim", 1) == 2:
+        return _cg_block(A, b, x0, M, rtol, atol, maxiter, callback)
     with span("solver.cg") as osp:
         op = _as_op(A)
         n = len(b)

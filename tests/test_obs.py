@@ -343,3 +343,76 @@ def test_result_table_creates_nested_results_dir(tmp_path):
     assert validate_artifact(doc, BENCH_SCHEMA) == []
     assert doc["records"] == [{"x": 1, "y": 2.5}]
     assert doc["trace"]["enabled"] is False
+
+
+# -- histograms ----------------------------------------------------------
+
+
+def test_histogram_summary_and_quantiles():
+    from repro.obs import Histogram
+
+    h = Histogram()
+    for v in [1.0, 2.0, 3.0, 100.0]:
+        h.observe(v)
+    s = h.summary()
+    assert s["count"] == 4 and s["sum"] == 106.0
+    assert s["min"] == 1.0 and s["max"] == 100.0
+    # quantiles are deterministic bucket upper bounds
+    assert h.quantile(0.5) >= 2.0
+    assert h.quantile(0.99) >= 100.0 * 0.99 or h.quantile(0.99) >= s["p50"]
+    assert s["p50"] <= s["p95"] <= s["p99"]
+
+
+def test_histogram_identical_streams_identical_summaries():
+    from repro.obs import Histogram
+
+    rng = np.random.default_rng(0)
+    vals = rng.lognormal(0.0, 2.0, 500)
+    h1, h2 = Histogram(), Histogram()
+    for v in vals:
+        h1.observe(float(v))
+    for v in vals[::-1]:  # order must not matter
+        h2.observe(float(v))
+    s1, s2 = h1.summary(), h2.summary()
+    # the running float sum is the one order-sensitive field
+    assert s1.pop("sum") == pytest.approx(s2.pop("sum"), rel=1e-12)
+    assert s1 == s2
+
+
+def test_histogram_empty_and_extremes():
+    from repro.obs import Histogram
+
+    h = Histogram()
+    s = h.summary()
+    assert s == {"count": 0, "sum": 0.0}
+    assert h.quantile(0.5) == 0.0
+    h.observe(0.0)        # below the smallest bucket edge
+    h.observe(1e30)       # beyond the largest edge → overflow bucket
+    assert h.quantile(0.99) == 1e30  # overflow quantile reports max seen
+
+
+def test_registry_histograms_in_snapshot_and_report():
+    obs.enable()
+    for v in (1.0, 2.0, 4.0, 1000.0):
+        obs.observe("serve.latency_ticks", v)
+    obs.observe("solve.residual", 1e-9, pde="poisson")
+    h = obs.get_histogram("serve.latency_ticks")
+    assert h is not None and h["count"] == 4
+    snap = obs.snapshot()
+    assert "histograms" in snap
+    assert snap["histograms"]["serve.latency_ticks"]["count"] == 4
+    assert 'solve.residual{pde="poisson"}' in snap["histograms"]
+    doc = obs.collect("hist-run")
+    from repro.obs.report import ARTIFACT_SCHEMA, render_report, validate_artifact
+
+    assert validate_artifact(doc, ARTIFACT_SCHEMA) == []
+    text = render_report(doc)
+    assert "histograms" in text and "serve.latency_ticks" in text
+    assert "p95=" in text
+
+
+def test_registry_histograms_gated_when_disabled():
+    obs.observe("never.recorded", 1.0)
+    assert obs.get_histogram("never.recorded") is None
+    snap = obs.snapshot()
+    assert "histograms" not in snap  # old artifacts stay byte-stable

@@ -26,6 +26,7 @@ from repro.resilience import (
     corrupt_buffer,
     latest_checkpoint,
     load_checkpoint,
+    prune_checkpoints,
     resilient_poisson_solve,
     save_checkpoint,
 )
@@ -303,6 +304,39 @@ def test_latest_checkpoint_orders_by_step(tmp_path):
     (tmp_path / "run_step000010.ckpt.json").write_text("{}")
     assert latest_checkpoint(tmp_path, "run").name == "run_step000010.ckpt.json"
     assert latest_checkpoint(tmp_path / "missing") is None
+
+
+def test_latest_checkpoint_numeric_step_order_unpadded(tmp_path):
+    # step10 must beat step2 even without zero padding
+    (tmp_path / "run_step2.ckpt.json").write_text("{}")
+    (tmp_path / "run_step10.ckpt.json").write_text("{}")
+    assert latest_checkpoint(tmp_path, "run").name == "run_step10.ckpt.json"
+
+
+def test_checkpoint_retention_keep_last(sphere_mesh, tmp_path):
+    _, mesh = sphere_mesh
+    vec = {"x": np.ones(mesh.n_nodes)}
+    for step in (1, 2, 3, 10):
+        save_checkpoint(tmp_path / f"run_step{step}.ckpt.json", mesh,
+                        step=step, vectors=vec, name="run", keep_last=2)
+    survivors = sorted(p.name for p in tmp_path.glob("*.ckpt.json"))
+    # numeric step order: step10 is newest, step3 second-newest
+    assert survivors == ["run_step10.ckpt.json", "run_step3.ckpt.json"]
+    assert latest_checkpoint(tmp_path, "run").name == "run_step10.ckpt.json"
+
+
+def test_prune_checkpoints_scoped_by_name_and_validated(tmp_path):
+    for step in (1, 2, 3):
+        (tmp_path / f"a_step{step}.ckpt.json").write_text("{}")
+        (tmp_path / f"b_step{step}.ckpt.json").write_text("{}")
+    removed = prune_checkpoints(tmp_path, name="a", keep_last=1)
+    assert [p.name for p in removed] == ["a_step1.ckpt.json",
+                                         "a_step2.ckpt.json"]
+    # "b" checkpoints are untouched by a name-scoped prune
+    assert len(list(tmp_path.glob("b_step*.ckpt.json"))) == 3
+    assert len(list(tmp_path.glob("a_step*.ckpt.json"))) == 1
+    with pytest.raises(ValueError, match="keep_last"):
+        prune_checkpoints(tmp_path, keep_last=0)
 
 
 # -- partition shrink --------------------------------------------------

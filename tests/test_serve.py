@@ -1,0 +1,304 @@
+"""Tests for repro.serve: typed requests, artifact caching, fingerprint
+batching, deterministic scheduling and the service facade."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.serve import (
+    Rejected,
+    SolverClient,
+    SolverService,
+    SolveRequest,
+    build_entry,
+    demo_workload,
+    ensure_factor,
+    solve_batch,
+)
+
+pytestmark = pytest.mark.serve
+
+DISK = {"shape": "sphere", "center": (0.5, 0.5), "radius": 0.3}
+SMALL_DISK = {"shape": "sphere", "center": (0.5, 0.5), "radius": 0.2}
+TINY_DISK = {"shape": "sphere", "center": (0.5, 0.5), "radius": 0.15}
+
+
+def _req(**kw):
+    kw.setdefault("geometry", DISK)
+    kw.setdefault("base_level", 2)
+    kw.setdefault("boundary_level", 3)
+    return SolveRequest(**kw)
+
+
+# -- api: canonical digests and validation -----------------------------
+
+
+def test_request_digest_canonical_across_spellings():
+    a = _req(geometry={"shape": "sphere", "center": (0.5, 0.5), "radius": 0.3})
+    # ints where floats are meant, list instead of tuple, reordered keys
+    b = _req(geometry={"radius": 0.3, "center": [0.5, 0.5], "shape": "sphere"})
+    assert a.digest == b.digest
+    assert a.mesh_digest == b.mesh_digest
+    assert a.batch_key == b.batch_key
+    # RHS data changes the request identity but not the mesh/batch keys
+    c = _req(f=2.0)
+    assert c.digest != a.digest
+    assert c.mesh_digest == a.mesh_digest
+    assert c.batch_key == a.batch_key
+    # tolerance is part of the batch key but not the mesh key
+    d = _req(tol=1e-8)
+    assert d.mesh_digest == a.mesh_digest
+    assert d.batch_key != a.batch_key
+
+
+def test_request_validation():
+    with pytest.raises(ValueError, match="pde"):
+        _req(pde="heat").validate()
+    with pytest.raises(ValueError, match="shape"):
+        _req(geometry={"shape": "torus"}).validate()
+    with pytest.raises(ValueError, match="base_level"):
+        _req(base_level=5, boundary_level=3).validate()
+    with pytest.raises(ValueError, match="radius"):
+        _req(geometry={"shape": "sphere", "center": (0.5, 0.5),
+                       "radius": -1.0}).validate()
+    _req().validate()  # the default request is valid
+
+
+# -- admission control and deadlines -----------------------------------
+
+
+def test_queue_full_typed_rejection():
+    svc = SolverService(max_pending=2)
+    assert svc.submit(_req(f=1.0)) is None
+    assert svc.submit(_req(f=2.0)) is None
+    rej = svc.submit(_req(f=3.0))
+    assert isinstance(rej, Rejected)
+    assert rej.status == "rejected" and rej.reason == "queue_full"
+    # the rejection is part of the response stream
+    assert svc.responses[0] is rej
+    done = svc.drain()
+    assert len(done) == 2 and all(r.ok for r in done)
+    assert svc.stats()["status"] == {"ok": 2, "rejected": 1}
+
+
+def test_deadline_exceeded():
+    svc = SolverService(max_batch=4)
+    # priority 0 dispatches first and its (cold) batch advances the
+    # virtual clock well past the second request's deadline
+    svc.submit(_req(priority=0))
+    svc.submit(_req(geometry=SMALL_DISK, priority=5, deadline=10))
+    done = svc.drain()
+    by_reason = {r.reason: r for r in done}
+    assert "deadline_exceeded" in by_reason
+    rej = by_reason["deadline_exceeded"]
+    assert rej.status == "rejected" and rej.t_done > 10
+
+
+# -- caching ------------------------------------------------------------
+
+
+@pytest.fixture
+def traced():
+    obs.disable()
+    obs.reset()
+    obs.enable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _span_names(spans, out=None):
+    out = [] if out is None else out
+    for sp in spans:
+        out.append(sp.name)
+        _span_names(sp.children, out)
+        _span_names(list(sp._merged.values()), out)
+    return out
+
+
+def test_cache_hot_request_skips_all_build_work(traced):
+    svc = SolverService()
+    svc.submit(_req(f=1.0))
+    svc.drain()
+    cold = _span_names(obs.TRACER.roots)
+    assert "build_mesh" in cold and "plan.context_build" in cold
+    assert "serve.factor_build" in cold
+
+    obs.reset()
+    svc.submit(_req(f=2.0))  # same mesh + batch key, different RHS
+    done = svc.drain()
+    assert done[0].ok and done[0].cache_hit
+    hot = _span_names(obs.TRACER.roots)
+    assert "serve.batch" in hot and "serve.solve" in hot
+    assert "build_mesh" not in hot
+    assert "plan.context_build" not in hot
+    assert "serve.factor_build" not in hot
+    assert obs.get_value("serve.cache.hits") == 1
+    assert svc.cache.hits == 1 and svc.cache.misses == 1
+
+
+def test_eviction_and_interleaving_determinism():
+    # size the budget from a measured entry so exactly ~1 entry fits
+    probe = build_entry(_req())
+    budget = int(probe.nbytes * 1.5)
+    reqs = [
+        _req(geometry=g, f=float(f), priority=pr)
+        for g, f, pr in [
+            (DISK, 1.0, 0), (SMALL_DISK, 1.5, 1), (TINY_DISK, 2.0, 2),
+            (DISK, 2.5, 0), (SMALL_DISK, 3.0, 1),
+        ]
+    ]
+
+    def run(stream):
+        svc = SolverService(cache_bytes=budget, max_batch=4)
+        for r in stream:
+            assert svc.submit(r) is None
+        svc.drain()
+        return svc
+
+    a = run(reqs)
+    b = run(reversed(reqs))
+    assert len(a.cache.eviction_log) > 0
+    assert a.cache.eviction_log == b.cache.eviction_log
+    assert a.stream_digest == b.stream_digest
+    da = {r.request_digest: r.digest for r in a.responses}
+    db = {r.request_digest: r.digest for r in b.responses}
+    assert da == db
+
+
+def test_stream_replay_bit_identical():
+    def run():
+        svc = SolverService(max_batch=8)
+        for r in demo_workload(18, seed=1):
+            svc.submit(r)
+        svc.drain()
+        return svc
+
+    a, b = run(), run()
+    assert a.stream_digest == b.stream_digest
+    assert [r.digest for r in a.responses] == [r.digest for r in b.responses]
+
+
+# -- batching ------------------------------------------------------------
+
+
+def test_batch_solution_matches_single_request_solves():
+    reqs = [_req(f=float(f), g=float(g))
+            for f, g in [(1.0, 0.0), (2.5, 0.0), (0.5, 1.0), (3.0, -2.0)]]
+    entry = build_entry(reqs[0])
+    factor, built = ensure_factor(entry, reqs[0])
+    assert built
+    block = solve_batch(factor, reqs)
+    assert block.solutions.shape[1] == len(reqs)
+    for j, r in enumerate(reqs):
+        single = solve_batch(factor, [r])
+        scale = max(np.linalg.norm(single.solutions[:, 0]), 1.0)
+        err = np.linalg.norm(block.solutions[:, j] - single.solutions[:, 0])
+        assert err <= 1e-12 * scale
+
+
+def test_service_batches_shared_fingerprints():
+    svc = SolverService(max_batch=8)
+    for f in (1.0, 2.0, 3.0, 4.0):
+        svc.submit(_req(f=f))
+    svc.submit(_req(geometry=SMALL_DISK, f=5.0))
+    done = svc.drain()
+    sizes = {r.request_digest: r.batch_size for r in done}
+    assert sorted(sizes.values()) == [1, 4, 4, 4, 4]
+    assert svc.stats()["batches"] == 2
+
+
+def test_transport_batch_matches_transport_problem_run():
+    from repro.fem.transport import TransportProblem
+
+    req = SolveRequest(
+        geometry=DISK, pde="transport", base_level=2, boundary_level=3,
+        velocity=(1.0, 0.5), kappa=0.05, dt=0.2, steps=3, f=1.7,
+    )
+    entry = build_entry(req)
+    factor, _ = ensure_factor(entry, req)
+    out = solve_batch(factor, [req, req])
+    mesh = entry.mesh
+    prob = TransportProblem(
+        mesh, np.tile([1.0, 0.5], (mesh.n_nodes, 1)), kappa=0.05, dt=0.2,
+        dirichlet_mask=mesh.dirichlet_mask, dirichlet_value=0.0,
+    )
+    ref = prob.run(np.zeros(mesh.n_nodes), 3, source=1.7)
+    for j in range(2):
+        assert np.linalg.norm(out.solutions[:, j] - ref) <= 1e-12 * max(
+            np.linalg.norm(ref), 1.0
+        )
+
+
+def test_client_solves_all_pde_kinds():
+    svc = SolverService()
+    client = SolverClient(svc)
+    r1 = client.solve(_req(pde="poisson", f=2.0))
+    r2 = client.solve(_req(pde="sbm", f=2.0))
+    r3 = client.solve(SolveRequest(
+        geometry=DISK, pde="transport", base_level=2, boundary_level=3,
+        velocity=(1.0, 0.0), steps=2,
+    ))
+    assert r1.ok and r1.reason == "converged"
+    assert r2.ok and r2.reason == "direct"
+    assert r3.ok and r3.reason == "direct"
+    # sbm shares the poisson request's mesh entry
+    assert r2.cache_hit and r3.cache_hit
+    assert len({r1.solution_digest, r2.solution_digest,
+                r3.solution_digest}) == 3
+
+
+# -- retry with backoff --------------------------------------------------
+
+
+class _FlakyOnce:
+    """Raise SolverBreakdown on each request's first attempt only."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, request, retries):
+        from repro.resilience.faults import SolverBreakdown
+
+        self.calls += 1
+        if retries == 0:
+            raise SolverBreakdown("injected", "breakdown", "first try fails")
+
+
+def test_retry_with_backoff_recovers():
+    svc = SolverService(fault_injector=_FlakyOnce(), backoff=500)
+    svc.submit(_req(f=1.0))
+    done = svc.drain()
+    assert len(done) == 1
+    (r,) = done
+    assert r.ok and r.retries == 1
+    assert r.t_done >= 500  # the backoff window actually elapsed
+
+
+def test_retries_exhausted_is_typed_failure():
+    def always_fail(request, retries):
+        from repro.resilience.faults import SolverBreakdown
+
+        raise SolverBreakdown("injected", "breakdown", "never succeeds")
+
+    svc = SolverService(fault_injector=always_fail, max_retries=1)
+    svc.submit(_req())
+    done = svc.drain()
+    (r,) = done
+    assert r.status == "failed" and r.reason == "retries_exhausted"
+    assert r.retries == 1
+    assert svc.stats()["status"] == {"failed": 1}
+
+
+# -- demo workload -------------------------------------------------------
+
+
+def test_demo_workload_deterministic_and_mixed():
+    a = demo_workload(30, seed=0)
+    b = demo_workload(30, seed=0)
+    assert [r.digest for r in a] == [r.digest for r in b]
+    kinds = {r.pde for r in a}
+    assert kinds == {"poisson", "sbm", "transport"}
+    assert [r.digest for r in demo_workload(30, seed=1)] != [
+        r.digest for r in a
+    ]

@@ -151,3 +151,78 @@ def test_cg_property_random_spd(seed, n):
     res = cg(A, b, rtol=1e-10, maxiter=10 * n)
     assert res.converged
     assert np.linalg.norm(A @ res.x - b) <= 1e-6 * max(np.linalg.norm(b), 1)
+
+
+# -- multi-RHS (block) CG ----------------------------------------------
+
+
+def _carved_sphere_system():
+    from repro import Domain, build_mesh
+    from repro.core.assembly import assemble
+    from repro.geometry import SphereCarve
+
+    dom = Domain(SphereCarve([0.5, 0.5, 0.5], 0.3))
+    mesh = build_mesh(dom, 2, 3, p=1)
+    A = assemble(mesh, kind="stiffness")
+    free = np.flatnonzero(~mesh.dirichlet_mask)
+    return A[np.ix_(free, free)].tocsr()
+
+
+def test_cg_block_matches_independent_solves_carved_sphere():
+    Aff = _carved_sphere_system()
+    n, k = Aff.shape[0], 5
+    rng = np.random.default_rng(3)
+    B = rng.standard_normal((n, k))
+    res = cg(Aff, B, rtol=1e-12, maxiter=10 * n)
+    assert res.converged
+    assert res.x.shape == (n, k)
+    assert res.col_iterations.shape == (k,)
+    assert all(r == "converged" for r in res.col_reasons)
+    for j in range(k):
+        single = cg(Aff, B[:, j], rtol=1e-12, maxiter=10 * n)
+        assert single.converged
+        scale = np.linalg.norm(single.x)
+        assert np.linalg.norm(res.x[:, j] - single.x) <= 1e-12 * max(scale, 1)
+
+
+def test_cg_block_preconditioned_matches_independent_solves():
+    Aff = _carved_sphere_system()
+    M = jacobi(Aff)
+    n, k = Aff.shape[0], 4
+    rng = np.random.default_rng(7)
+    B = rng.standard_normal((n, k))
+    res = cg(Aff, B, M=M, rtol=1e-12, maxiter=10 * n)
+    assert res.converged
+    for j in range(k):
+        single = cg(Aff, B[:, j], M=M, rtol=1e-12, maxiter=10 * n)
+        scale = np.linalg.norm(single.x)
+        assert np.linalg.norm(res.x[:, j] - single.x) <= 1e-12 * max(scale, 1)
+
+
+def test_cg_block_columns_freeze_independently():
+    # one easy column (b itself an eigenvector direction of diag) and
+    # one hard column: per-column iteration counts must differ and the
+    # easy column must not keep iterating after convergence
+    A = sp.diags(np.linspace(1.0, 100.0, 80)).tocsr()
+    b_easy = np.zeros(80)
+    b_easy[0] = 1.0  # converges in one iteration on a diagonal system
+    rng = np.random.default_rng(11)
+    b_hard = rng.standard_normal(80)
+    B = np.column_stack([b_easy, b_hard])
+    res = cg(A, B, rtol=1e-12, maxiter=1000)
+    assert res.converged
+    assert res.col_iterations[0] < res.col_iterations[1]
+    assert res.iterations == int(res.col_iterations.max())
+
+
+def test_cg_block_zero_column_and_scalar_path_unchanged():
+    A = _spd(30, 2)
+    rng = np.random.default_rng(13)
+    B = np.column_stack([np.zeros(30), rng.standard_normal(30)])
+    res = cg(A, B, rtol=1e-10)
+    assert res.converged
+    assert np.allclose(res.x[:, 0], 0.0)
+    # the 1-D path still returns a 1-D x with no per-column fields
+    single = cg(A, B[:, 1], rtol=1e-10)
+    assert single.x.ndim == 1
+    assert single.col_iterations is None and single.col_reasons is None
