@@ -1,0 +1,119 @@
+"""Fleet shard scaling — virtual throughput and tail latency vs N.
+
+Runs the same seeded zipf/bursty workload through 1-, 2-, 4- and
+8-shard fleets and reports, per shard count:
+
+* **virtual throughput** — requests per kilotick of fleet makespan
+  (the furthest any shard clock advanced);
+* **tail latency** — p50/p95/p99 of the virtual arrival-to-completion
+  latency (deterministic :class:`repro.obs.Histogram` percentiles);
+* steal and shared-L2 activity, which is *why* the skewed workload
+  scales: consistent-hash routing hot-spots the zipf-popular meshes
+  onto one shard, stealing rebalances the backlog, and the second tier
+  turns the thief's rebuild into a cheap fetch.
+
+Two acceptance bars gate the run:
+
+* the 4-shard fleet must reach **>= 2x** the single-shard virtual
+  throughput on the identical workload;
+* a mid-run shard kill (after the arrival phase, stealing quiescent —
+  the certified fail-over scenario) must recover with a **fleet digest
+  bit-identical** to the failure-free run's.
+
+Everything is on the virtual clock, so every number in the table —
+including the percentiles — is bit-reproducible across machines.
+Results land in ``benchmarks/results/fleet_scaling.{txt,json}``
+(bench.v1 sidecar with structured records).
+"""
+
+from repro.fleet import FleetService, synthetic_workload
+
+from _util import ResultTable
+
+N_REQUESTS = 96
+SEED = 11
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _workload():
+    # compute-bound regime: interarrival gaps well below the ~200-tick
+    # per-request cost, so queues build and shard parallelism matters
+    return synthetic_workload(
+        N_REQUESTS, seed=SEED, mean_gap=20, burst_gap=4, pool=8
+    )
+
+
+def _fleet(n_shards, *, stealing=True, ckpt_dir=None):
+    return FleetService(
+        n_shards, cache_bytes=8 << 20, steal_threshold=4,
+        steal_latency=100, stealing=stealing, ckpt_dir=ckpt_dir,
+        ckpt_interval=4,
+    )
+
+
+def test_fleet_scaling(tmp_path=None):
+    table = ResultTable(
+        "fleet_scaling",
+        f"Fleet shard scaling ({N_REQUESTS} zipf/bursty requests, "
+        f"seed {SEED}, shard counts {list(SHARD_COUNTS)})",
+    )
+    wl = _workload()
+    table.row(
+        f"{'shards':>6} {'makespan':>9} {'req/ktick':>10} {'p50':>7} "
+        f"{'p95':>7} {'p99':>7} {'steals':>7} {'l2 hits':>8}"
+    )
+    thr = {}
+    for n in SHARD_COUNTS:
+        fleet = _fleet(n)
+        fleet.run(wl)
+        st = fleet.stats()
+        assert st["status"] == {"ok": N_REQUESTS}, st["status"]
+        lat = st["latency_ticks"]
+        thr[n] = 1000.0 * N_REQUESTS / fleet.makespan
+        table.row(
+            f"{n:>6} {fleet.makespan:>9} {thr[n]:>10.2f} "
+            f"{lat['p50']:>7.0f} {lat['p95']:>7.0f} {lat['p99']:>7.0f} "
+            f"{st['steals']:>7} {st['l2']['hits']:>8}"
+        )
+        table.record(
+            shards=n, makespan_ticks=fleet.makespan,
+            requests_per_kilotick=thr[n], latency_p50=lat["p50"],
+            latency_p95=lat["p95"], latency_p99=lat["p99"],
+            steals=st["steals"], stolen_items=st["stolen_items"],
+            l2_hits=st["l2"]["hits"], fleet_digest=st["fleet_digest"],
+        )
+    speedup = thr[4] / thr[1]
+    table.row(f"4-shard speedup over single shard: {speedup:.2f}x  "
+              "(bar: >= 2x)")
+
+    # fail-over recovery: kill the busiest shard after the last arrival
+    # (the certified bit-identity scenario) and compare fleet digests
+    base = _fleet(4, stealing=False)
+    base.run(wl)
+    kill_tick = max(a.tick for a in wl) + 1
+    victim = max(sorted(base.routed), key=lambda s: base.routed[s])
+    ckpt_dir = None if tmp_path is None else tmp_path / "ckpt"
+    killed = _fleet(4, stealing=False, ckpt_dir=ckpt_dir)
+    killed.run(wl, kill=(kill_tick, victim))
+    ev = killed.failover_events[0]
+    recovered = killed.fleet_digest == base.fleet_digest
+    table.row(f"fail-over: {ev.describe()}")
+    table.row(
+        f"recovered fleet digest == failure-free: {recovered}  "
+        f"({killed.fleet_digest[:16]}…)"
+    )
+    table.record(
+        kill_tick=kill_tick, victim=victim, replayed=ev.replayed,
+        recovered_bit_identical=recovered,
+        speedup_4shard_over_1shard=speedup,
+    )
+    table.save()
+
+    assert speedup >= 2.0, (
+        f"4-shard virtual throughput {speedup:.2f}x below the 2x bar"
+    )
+    assert recovered, "recovered fleet digest diverged from failure-free run"
+
+
+if __name__ == "__main__":
+    test_fleet_scaling()

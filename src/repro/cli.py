@@ -394,6 +394,131 @@ def cmd_serve_stats(args) -> None:
     _emit(lines, args.out)
 
 
+def cmd_fleet_demo(args) -> None:
+    """Run a seeded zipf/bursty workload through the sharded fleet."""
+    import json
+
+    from .fleet import FleetService, synthetic_workload
+
+    kill = None
+    if args.kill:
+        tick, _, sid = args.kill.partition(":")
+        if not sid:
+            raise SystemExit("--kill wants TICK:SHARD_ID, e.g. 2000:shard1")
+        kill = (int(tick), sid)
+    fleet = FleetService(
+        args.shards, cache_bytes=args.cache_mb << 20,
+        max_batch=args.max_batch, max_pending=args.max_pending,
+        steal_threshold=args.steal_threshold,
+        steal_latency=args.steal_latency,
+        stealing=not args.no_steal, ckpt_dir=args.ckpt_dir,
+        ckpt_interval=args.ckpt_interval,
+    )
+    fleet.run(
+        synthetic_workload(args.requests, seed=args.seed,
+                           mean_gap=args.mean_gap, burst_gap=args.burst_gap),
+        kill=kill,
+    )
+    st = fleet.stats()
+    lines = [
+        f"# fleet-demo: shards={args.shards} requests={args.requests} "
+        f"seed={args.seed} stealing={not args.no_steal}"
+        + (f" kill={args.kill}" if args.kill else ""),
+        f"responses: {st['responses']}  status: "
+        + " ".join(f"{k}={v}" for k, v in st["status"].items()),
+        "routed: "
+        + " ".join(f"{k}={v}" for k, v in sorted(st["routed"].items())),
+        f"steals: {st['steals']} ({st['stolen_items']} items)  "
+        f"makespan: {st['makespan_ticks']} virtual ticks",
+        "latency (virtual ticks): "
+        + " ".join(
+            f"{k}={st['latency_ticks'][k]:.0f}"
+            for k in ("min", "p50", "p95", "p99", "max")
+        ),
+        f"l2: hits={st['l2']['hits']} misses={st['l2']['misses']} "
+        f"entries={st['l2']['entries']} promoted={st['l2']['promotions']}",
+    ]
+    for line in st["failovers"]:
+        lines.append(f"failover: {line}")
+    lines += [
+        f"stream digest: {st['stream_digest']}",
+        f"fleet digest:  {st['fleet_digest']}",
+    ]
+    if args.json:
+        doc = {
+            "schema": "repro.fleet/demo.v1",
+            "config": {
+                "shards": args.shards, "requests": args.requests,
+                "seed": args.seed, "cache_mb": args.cache_mb,
+                "max_batch": args.max_batch,
+                "max_pending": args.max_pending,
+                "steal_threshold": args.steal_threshold,
+                "steal_latency": args.steal_latency,
+                "stealing": not args.no_steal,
+                "mean_gap": args.mean_gap, "burst_gap": args.burst_gap,
+                "kill": args.kill,
+            },
+            "stats": st,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        lines.append(f"json report written to {args.json}")
+    _emit(lines, args.out)
+
+
+def cmd_fleet_stats(args) -> None:
+    """Render a fleet-demo JSON report (per-shard + cache pressure)."""
+    import json
+
+    with open(args.report) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "repro.fleet/demo.v1":
+        raise SystemExit(
+            f"{args.report}: not a repro.fleet/demo.v1 report "
+            f"(schema={doc.get('schema')!r})"
+        )
+    cfg, st = doc["config"], doc["stats"]
+    lines = [
+        f"# fleet report: {args.report}",
+        f"config: shards={cfg['shards']} requests={cfg['requests']} "
+        f"seed={cfg['seed']} stealing={cfg['stealing']}"
+        + (f" kill={cfg['kill']}" if cfg.get("kill") else ""),
+        f"responses: {st['responses']}  makespan: {st['makespan_ticks']} "
+        f"ticks  steals: {st['steals']} ({st['stolen_items']} items)",
+        "latency (virtual ticks): "
+        + " ".join(
+            f"{k}={st['latency_ticks'][k]:.0f}"
+            for k in ("min", "p50", "p95", "p99", "max")
+        ),
+        f"{'shard':>8} {'routed':>7} {'resp':>6} {'batches':>8} "
+        f"{'l2 fetch':>9} {'cache bytes':>12} {'cache ent':>10} "
+        f"{'hit rate':>9}",
+    ]
+    for sid, sh in sorted(st["shards"].items()):
+        cache = sh["cache"]
+        lookups = cache["hits"] + cache["misses"]
+        rate = cache["hits"] / lookups if lookups else 0.0
+        lines.append(
+            f"{sid:>8} {st['routed'].get(sid, 0):>7} {sh['responses']:>6} "
+            f"{sh['batches']:>8} {sh.get('l2_fetches', 0):>9} "
+            f"{cache['bytes']:>12} {cache['entries']:>10} {rate:>9.2f}"
+        )
+    l2 = st["l2"]
+    lines.append(
+        f"shared l2: entries={l2['entries']} bytes={l2['bytes']} "
+        f"hits={l2['hits']} misses={l2['misses']} "
+        f"promoted={l2['promotions']} demoted={l2['demotions']} "
+        f"pinned={l2['pinned']}"
+    )
+    for line in st["failovers"]:
+        lines.append(f"failover: {line}")
+    lines += [
+        f"stream digest: {st['stream_digest']}",
+        f"fleet digest:  {st['fleet_digest']}",
+    ]
+    _emit(lines, args.out)
+
+
 def cmd_trace_report(args) -> None:
     from .obs.report import load_artifact, render_report, to_chrome_trace
 
@@ -505,6 +630,44 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("report")
     s.add_argument("--out", default=None)
     s.set_defaults(func=cmd_serve_stats, trace_name=None)
+
+    s = sub.add_parser(
+        "fleet-demo",
+        help="run a seeded zipf/bursty workload through the sharded fleet",
+    )
+    s.add_argument("--shards", type=int, default=4)
+    s.add_argument("--requests", type=int, default=60)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--mean-gap", type=int, default=120,
+                   help="mean interarrival gap in virtual ticks (quiet state)")
+    s.add_argument("--burst-gap", type=int, default=15,
+                   help="mean interarrival gap during bursts")
+    s.add_argument("--max-batch", type=int, default=8)
+    s.add_argument("--max-pending", type=int, default=256)
+    s.add_argument("--cache-mb", type=int, default=8,
+                   help="per-shard L1 byte budget in MiB")
+    s.add_argument("--steal-threshold", type=int, default=4)
+    s.add_argument("--steal-latency", type=int, default=100)
+    s.add_argument("--no-steal", action="store_true",
+                   help="disable cross-shard work stealing")
+    s.add_argument("--kill", default=None, metavar="TICK:SHARD_ID",
+                   help="kill a shard mid-run and fail over, e.g. 2000:shard1")
+    s.add_argument("--ckpt-dir", default=None,
+                   help="directory for sealed shard state checkpoints "
+                        "(default: in-memory)")
+    s.add_argument("--ckpt-interval", type=int, default=6)
+    s.add_argument("--json", default=None,
+                   help="write a repro.fleet/demo.v1 JSON report here")
+    s.add_argument("--out", default=None)
+    s.add_argument("--trace-out", default=None,
+                   help="run-artifact path (default trace_<command>.json)")
+    s.set_defaults(func=cmd_fleet_demo, trace_name="fleet-demo")
+
+    s = sub.add_parser("fleet-stats",
+                       help="render a fleet-demo JSON report")
+    s.add_argument("report")
+    s.add_argument("--out", default=None)
+    s.set_defaults(func=cmd_fleet_stats, trace_name=None)
 
     s = sub.add_parser("trace-report", help="render a repro.obs run artifact")
     s.add_argument("artifact")

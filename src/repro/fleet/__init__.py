@@ -1,0 +1,63 @@
+"""repro.fleet — deterministic sharded serving fleet.
+
+Scales :mod:`repro.serve` from one service to N shards behind a
+consistent-hash ring keyed by operator-plan fingerprint, with a shared
+second-tier artifact cache (hit-rate-driven promote/demote), cross-
+shard work stealing when queues spike, and checkpointed replica
+fail-over that replays a killed shard's in-flight requests
+bit-identically on a survivor.  The whole fleet — faults, steals and
+all — runs as a discrete-event simulation on integer virtual clocks
+and is certified by stream digests.
+"""
+
+from .failover import (
+    FailoverEvent,
+    ShardCheckpointer,
+    ShardLog,
+    item_doc,
+    rebuild_queue,
+)
+from .router import HashRing
+from .service import FleetService, FleetShard, core_digest, core_doc
+from .steal import StealEvent, StealPlan, plan_steals
+from .tiercache import TierCache
+from .workload import Arrival, mesh_catalog, synthetic_workload
+
+__all__ = [
+    "HashRing",
+    "TierCache",
+    "StealPlan",
+    "StealEvent",
+    "plan_steals",
+    "ShardLog",
+    "ShardCheckpointer",
+    "FailoverEvent",
+    "item_doc",
+    "rebuild_queue",
+    "Arrival",
+    "mesh_catalog",
+    "synthetic_workload",
+    "FleetShard",
+    "FleetService",
+    "core_doc",
+    "core_digest",
+    "demo_fleet",
+]
+
+
+def demo_fleet(n_shards: int = 4, *, seed: int = 0, n_requests: int = 60,
+               stealing: bool = True, ckpt_dir=None,
+               kill: tuple[int, str] | None = None) -> FleetService:
+    """Build and run the canonical demo fleet (CLI / CI smoke entry).
+
+    Small meshes, a zipf-skewed bursty workload, and parameters tuned
+    so stealing actually fires.  Returns the finished
+    :class:`FleetService` for digest/stats inspection.
+    """
+    fleet = FleetService(
+        n_shards, cache_bytes=8 << 20, steal_threshold=4,
+        steal_latency=100, stealing=stealing, ckpt_dir=ckpt_dir,
+        ckpt_interval=6,
+    )
+    fleet.run(synthetic_workload(n_requests, seed=seed), kill=kill)
+    return fleet

@@ -1,0 +1,368 @@
+"""The sharded serving fleet: discrete-event loop, digests, fail-over.
+
+:class:`FleetService` composes the fleet subsystem — consistent-hash
+routing (:mod:`repro.fleet.router`), per-shard
+:class:`~repro.serve.service.SolverService` instances behind a shared
+second-tier cache (:mod:`repro.fleet.tiercache`), work stealing
+(:mod:`repro.fleet.steal`) and checkpointed fail-over
+(:mod:`repro.fleet.failover`) — into one deterministic discrete-event
+simulation::
+
+    fleet = FleetService(4, seed-independent config...)
+    fleet.run(synthetic_workload(200, seed=7))
+    fleet.stream_digest   # chained digest, fleet completion order
+    fleet.fleet_digest    # order-free digest over the response set
+
+**The event loop.**  Each shard runs its own virtual clock; the fleet
+tracks a global event time ``now`` and repeatedly executes the
+earliest of three event kinds — a scheduled shard kill, the next
+workload arrival, or the earliest shard-ready execution step — with
+ties broken kill < arrival < exec.  Arrivals are canonically sorted by
+``(tick, request digest)`` before the loop starts, so *any* submission
+order of the same workload yields the same simulation (the shuffle
+test asserts this on both digests).
+
+**Two digests, two guarantees.**  Responses fold a **core document**
+(request digest, status, reason, PDE, solution digest, iterations,
+residual — no timing, no cache/batch metadata) into both digests.
+``stream_digest`` chains core digests in fleet completion order and
+certifies deterministic replay of an identical run (the CI smoke step
+runs the demo twice and compares).  ``fleet_digest`` hashes the
+*sorted* core digests, so it is completion-order-free — the value a
+killed-and-recovered run must reproduce bit-for-bit against the
+failure-free run even though fail-over reshuffles completion order.
+
+**Fail-over scope.**  Solutions are bit-deterministic per *batch*, so
+the fleet digest survives a kill exactly when the replacement shard
+reforms the batches the dead shard would have formed.  That holds for
+kills after the last arrival with stealing quiescent (the certified
+scenario in the tests, demo and bench); for arbitrary kill points the
+fleet still guarantees exactly-once completion of every admitted
+request (no loss, no duplicates), which the early-kill test asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..obs import Histogram
+from ..obs import add as obs_add
+from ..serve.api import SolveRequest, SolveResponse
+from ..serve.batcher import build_entry
+from ..serve.scheduler import cost_build
+from ..serve.service import SolverService
+from .failover import FailoverEvent, ShardCheckpointer, ShardLog, rebuild_queue
+from .router import HashRing
+from .steal import StealEvent, plan_steals
+from .tiercache import TierCache
+from .workload import Arrival
+
+__all__ = ["FleetShard", "FleetService", "core_doc", "core_digest"]
+
+
+def core_doc(resp: SolveResponse) -> dict:
+    """The replay-invariant core of a response: *what* was computed,
+    never *when* or *where*.  Timing (submit/start/done ticks), cache
+    hits, batch sizes and retry counts legitimately differ between a
+    failure-free run and a killed-and-recovered one; the solution
+    bits may not."""
+    return {
+        "request_digest": resp.request_digest,
+        "status": resp.status,
+        "reason": resp.reason,
+        "pde": resp.pde,
+        "solution_digest": resp.solution_digest,
+        "iterations": resp.iterations,
+        "residual": resp.residual,
+    }
+
+
+def core_digest(resp: SolveResponse) -> str:
+    return hashlib.sha256(json.dumps(
+        core_doc(resp), sort_keys=True, separators=(",", ":")
+    ).encode()).hexdigest()
+
+
+class FleetShard(SolverService):
+    """One fleet shard: a :class:`SolverService` wired into the shared
+    second tier.
+
+    The override point is :meth:`_resolve_entry` — between the private
+    L1 miss and a cold build, the shard consults the fleet's
+    :class:`TierCache`, paying the (much cheaper) transfer cost when
+    another shard already built the mesh.  Cold builds write through
+    to L2, and L1 byte-budget victims demote into L2 instead of being
+    dropped, so each discretization is built at most once fleet-wide.
+    """
+
+    def __init__(self, shard_id: str, l2: TierCache, **kwargs):
+        super().__init__(name=shard_id, **kwargs)
+        self.shard_id = shard_id
+        self.l2 = l2
+        self.cache.on_evict = l2.publish_entry
+        self.l2_fetches = 0
+
+    def _resolve_entry(self, request: SolveRequest):
+        entry = self.cache.lookup(request.mesh_digest)
+        if entry is not None:
+            return entry, True
+        fetched = self.l2.fetch(request.mesh_digest)
+        if fetched is not None:
+            self.clock.advance(self.l2.fetch_cost(fetched))
+            self.l2_fetches += 1
+            return self.cache.insert(request.mesh_digest, fetched), True
+        entry = build_entry(request)
+        self.clock.advance(cost_build(entry.mesh.n_elem))
+        entry = self.cache.insert(request.mesh_digest, entry)
+        self.l2.publish(request.mesh_digest, entry)
+        return entry, False
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out["l2_fetches"] = self.l2_fetches
+        return out
+
+
+class FleetService:
+    """N deterministic shards behind a consistent-hash ring.
+
+    One instance simulates one fleet run: build it, :meth:`run` a
+    workload (optionally killing a shard mid-run), read the digests
+    and :meth:`stats`.  All shard construction parameters are
+    identical across shards, so any fleet with the same configuration
+    and workload replays bit-identically.
+    """
+
+    def __init__(self, n_shards: int = 4, *, cache_bytes: int = 64 << 20,
+                 l2_bytes: int = 512 << 20, max_pending: int = 256,
+                 max_batch: int = 8, steal_threshold: int = 6,
+                 steal_latency: int = 200, steal_max: int | None = None,
+                 stealing: bool = True, ckpt_dir=None, ckpt_interval: int = 8,
+                 l2_promote_after: int = 4, l2_window: int = 32):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.shard_ids = [f"shard{i}" for i in range(int(n_shards))]
+        self.l2 = TierCache(l2_bytes, promote_after=l2_promote_after,
+                            window=l2_window)
+        self.ring = HashRing(self.shard_ids)
+        self._shard_kwargs = dict(
+            cache_bytes=cache_bytes, max_pending=max_pending,
+            max_batch=max_batch,
+        )
+        self.steal_threshold = int(steal_threshold)
+        self.steal_latency = int(steal_latency)
+        self.steal_max = steal_max
+        self.stealing = bool(stealing)
+        self.shards: dict[str, FleetShard] = {}
+        self.logs: dict[str, ShardLog] = {
+            sid: ShardLog() for sid in self.shard_ids
+        }
+        self.checkpointers: dict[str, ShardCheckpointer] = {
+            sid: ShardCheckpointer(sid, ckpt_dir, interval=ckpt_interval)
+            for sid in self.shard_ids
+        }
+        for sid in self.shard_ids:
+            self.shards[sid] = self._make_shard(sid)
+        #: global event time: the tick of the last event the loop ran
+        self.now = 0
+        self.responses: list[SolveResponse] = []
+        self.latency = Histogram()
+        self.steal_events: list[StealEvent] = []
+        self.failover_events: list[FailoverEvent] = []
+        self.routed: dict[str, int] = {sid: 0 for sid in self.shard_ids}
+        self._status_counts: dict[str, int] = {}
+        self._stream = hashlib.sha256()
+        self._core_digests: list[str] = []
+
+    # -- shard lifecycle --------------------------------------------------
+
+    def _make_shard(self, sid: str) -> FleetShard:
+        shard = FleetShard(sid, self.l2, **self._shard_kwargs)
+        shard.on_response = self._make_on_response(sid)
+        return shard
+
+    def _make_on_response(self, sid: str):
+        def on_response(resp: SolveResponse) -> None:
+            self.logs[sid].completed.append(resp.request_digest)
+            self._fleet_finalize(sid, resp)
+        return on_response
+
+    def _fleet_finalize(self, sid: str, resp: SolveResponse) -> None:
+        self.responses.append(resp)
+        d = core_digest(resp)
+        self._core_digests.append(d)
+        self._stream.update(d.encode())
+        self._status_counts[resp.status] = (
+            self._status_counts.get(resp.status, 0) + 1
+        )
+        self.latency.observe(resp.latency)
+        obs_add("fleet.responses", 1, shard=sid, status=resp.status)
+
+    # -- the discrete-event loop ------------------------------------------
+
+    def run(self, arrivals: list[Arrival],
+            kill: tuple[int, str] | None = None) -> list[SolveResponse]:
+        """Simulate the fleet over a workload; returns all responses in
+        fleet completion order.
+
+        ``kill=(tick, shard_id)`` schedules one shard kill: at that
+        event time the shard's process state is discarded and
+        :meth:`_fail_over` rebuilds a replacement from the checkpoint
+        and logs.  Event ties resolve kill < arrival < exec, and
+        arrivals are canonically re-sorted, so the simulation is a
+        pure function of (config, workload multiset, kill).
+        """
+        queue = sorted(arrivals, key=lambda a: (a.tick, a.request.digest))
+        i = 0
+        pending_kill = kill
+        while True:
+            next_arrival = queue[i].tick if i < len(queue) else None
+            ready = {sid: sh.ready_time() for sid, sh in self.shards.items()}
+            exec_ticks = [t for t in ready.values() if t is not None]
+            next_exec = min(exec_ticks) if exec_ticks else None
+            kill_tick = pending_kill[0] if pending_kill else None
+            events = [t for t in (kill_tick, next_arrival, next_exec)
+                      if t is not None]
+            if not events:
+                break
+            t = min(events)
+            self.now = max(self.now, t)
+            if kill_tick == t:
+                self._fail_over(pending_kill[1])
+                pending_kill = None
+                continue
+            if next_arrival == t:
+                while i < len(queue) and queue[i].tick == t:
+                    self._deliver(queue[i])
+                    i += 1
+            else:
+                sid = min(s for s, rt in ready.items() if rt == t)
+                shard, log = self.shards[sid], self.logs[sid]
+                for _ in shard.step():
+                    self.checkpointers[sid].on_response(shard, log)
+            self._maybe_steal()
+        return self.responses
+
+    def _deliver(self, arrival: Arrival) -> None:
+        """Route one arrival to its ring owner.  Jumping the target's
+        clock to the arrival tick is safe: the loop never delivers an
+        arrival while any shard has strictly earlier executable work."""
+        sid = self.ring.route(arrival.request.mesh_digest)
+        shard = self.shards[sid]
+        shard.clock.jump_to(arrival.tick)
+        self.logs[sid].record_arrival(arrival.tick, arrival.request)
+        shard.submit(arrival.request, t_submit=arrival.tick)
+        self.routed[sid] += 1
+        obs_add("fleet.requests", 1, shard=sid)
+
+    def _maybe_steal(self) -> None:
+        if not self.stealing or len(self.shards) < 2:
+            return
+        depths = {sid: sh.scheduler.depth for sid, sh in self.shards.items()}
+        capacity = {
+            sid: sh.scheduler.max_pending - sh.scheduler.depth
+            for sid, sh in self.shards.items()
+        }
+        for plan in plan_steals(depths, threshold=self.steal_threshold,
+                                capacity=capacity, max_items=self.steal_max):
+            src, dst = self.shards[plan.src], self.shards[plan.dst]
+            items = src.scheduler.steal_items(plan.n, src.clock.now)
+            if not items:
+                continue
+            digests = []
+            for it in items:
+                self.logs[plan.src].stolen_away.append(it.digest)
+                self.logs[plan.dst].record_arrival(
+                    it.t_submit, it.request, it.retries)
+                dst.scheduler.adopt(
+                    it.request, dst.clock, t_submit=it.t_submit,
+                    retries=it.retries,
+                    not_before=self.now + self.steal_latency,
+                )
+                digests.append(it.digest)
+            self.steal_events.append(StealEvent(
+                tick=self.now, src=plan.src, dst=plan.dst,
+                digests=tuple(digests),
+            ))
+            obs_add("fleet.steals", 1)
+            obs_add("fleet.stolen_items", len(digests))
+
+    def _fail_over(self, sid: str) -> None:
+        """Kill ``sid`` and rebuild it from checkpoint + log replay.
+
+        The dead shard's in-memory state (queue, clock, L1 cache) is
+        discarded wholesale — recovery may use only the durable
+        artifacts: the sealed state checkpoint, the fleet-side logs,
+        and the shared L2 (which survives because it lives outside the
+        shard).  The replacement inherits the ring slot, so no other
+        shard's keyspace moves.
+        """
+        if sid not in self.shards:
+            raise ValueError(f"cannot kill unknown shard {sid!r}")
+        ckpt = self.checkpointers[sid]
+        state = ckpt.latest_state()
+        replay = rebuild_queue(state, self.logs[sid])
+        replacement = self._make_shard(sid)
+        replacement.clock.jump_to(self.now)
+        if state is not None:
+            replacement.clock.jump_to(state["clock"])
+        for doc in replay:
+            replacement.scheduler.adopt(
+                SolveRequest.from_doc(doc["request"]), replacement.clock,
+                t_submit=doc["t_submit"], retries=doc["retries"],
+            )
+        self.shards[sid] = replacement
+        ckpt.reset_after_failover()
+        survivors = sorted(s for s in self.shards if s != sid)
+        event = FailoverEvent(
+            tick=self.now, shard_id=sid,
+            host=survivors[0] if survivors else None,
+            replayed=len(replay),
+            ckpt_step=ckpt.step if state is not None else None,
+        )
+        self.failover_events.append(event)
+        obs_add("fleet.failovers", 1)
+        obs_add("fleet.replayed_requests", len(replay))
+
+    # -- certification and reporting --------------------------------------
+
+    @property
+    def stream_digest(self) -> str:
+        """sha256 chained over response core digests in fleet
+        completion order — certifies identical replay of an identical
+        run (CI runs the demo twice and diffs this)."""
+        return self._stream.hexdigest()
+
+    @property
+    def fleet_digest(self) -> str:
+        """sha256 over the *sorted* response core digests — the
+        completion-order-free certificate a recovered run must match
+        against the failure-free run."""
+        h = hashlib.sha256()
+        for d in sorted(self._core_digests):
+            h.update(d.encode())
+        return h.hexdigest()
+
+    @property
+    def makespan(self) -> int:
+        """Virtual makespan: the furthest any shard clock advanced."""
+        return max(sh.clock.now for sh in self.shards.values())
+
+    def stats(self) -> dict:
+        return {
+            "n_shards": len(self.shards),
+            "responses": len(self.responses),
+            "status": dict(sorted(self._status_counts.items())),
+            "routed": dict(self.routed),
+            "makespan_ticks": self.makespan,
+            "latency_ticks": self.latency.summary(),
+            "steals": len(self.steal_events),
+            "stolen_items": sum(e.n for e in self.steal_events),
+            "failovers": [e.describe() for e in self.failover_events],
+            "l2": self.l2.stats(),
+            "shards": {sid: sh.stats()
+                       for sid, sh in sorted(self.shards.items())},
+            "stream_digest": self.stream_digest,
+            "fleet_digest": self.fleet_digest,
+        }

@@ -45,10 +45,14 @@ __all__ = [
     "SolverBreakdown",
     "corrupt_buffer",
     "CKPT_SCHEMA_ID",
+    "STATE_SCHEMA_ID",
     "Checkpoint",
+    "StateCheckpoint",
     "CheckpointCorruption",
     "save_checkpoint",
     "load_checkpoint",
+    "save_state_checkpoint",
+    "load_state_checkpoint",
     "latest_checkpoint",
     "prune_checkpoints",
     "ResilientSolveResult",
@@ -59,10 +63,14 @@ __all__ = [
 
 _LAZY = {
     "CKPT_SCHEMA_ID": ("checkpoint", "CKPT_SCHEMA_ID"),
+    "STATE_SCHEMA_ID": ("checkpoint", "STATE_SCHEMA_ID"),
     "Checkpoint": ("checkpoint", "Checkpoint"),
+    "StateCheckpoint": ("checkpoint", "StateCheckpoint"),
     "CheckpointCorruption": ("checkpoint", "CheckpointCorruption"),
     "save_checkpoint": ("checkpoint", "save_checkpoint"),
     "load_checkpoint": ("checkpoint", "load_checkpoint"),
+    "save_state_checkpoint": ("checkpoint", "save_state_checkpoint"),
+    "load_state_checkpoint": ("checkpoint", "load_state_checkpoint"),
     "latest_checkpoint": ("checkpoint", "latest_checkpoint"),
     "prune_checkpoints": ("checkpoint", "prune_checkpoints"),
     "ResilientSolveResult": ("recovery", "ResilientSolveResult"),

@@ -41,15 +41,20 @@ from ..obs import span
 
 __all__ = [
     "CKPT_SCHEMA_ID",
+    "STATE_SCHEMA_ID",
     "CheckpointCorruption",
     "Checkpoint",
+    "StateCheckpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "save_state_checkpoint",
+    "load_state_checkpoint",
     "latest_checkpoint",
     "prune_checkpoints",
 ]
 
 CKPT_SCHEMA_ID = "repro.resilience/ckpt.v1"
+STATE_SCHEMA_ID = "repro.resilience/state.v1"
 
 
 class CheckpointCorruption(RuntimeError):
@@ -170,6 +175,95 @@ def load_checkpoint(path) -> "Checkpoint":
         osp.add("bytes", path.stat().st_size)
         obs_add("resilience.ckpt.loads", 1)
     return Checkpoint(doc, path)
+
+
+def save_state_checkpoint(path, *, name: str, step: int, state: dict,
+                          meta: dict | None = None,
+                          keep_last: int | None = None) -> Path:
+    """Write one sealed ``state.v1`` snapshot of arbitrary JSON state.
+
+    The mesh-centric :func:`save_checkpoint` covers solver restart;
+    this is the same sealed-document machinery (canonical sorted-key
+    serialisation, sha256 integrity digest, bit-deterministic bytes,
+    :class:`CheckpointCorruption` on tamper) for services whose state
+    is a queue, not a field — the fleet layer checkpoints each shard's
+    pending requests here so a killed shard replays on a survivor.
+    ``state`` must be JSON-serialisable and is stored verbatim.
+
+    Files share the ``<name>_step<k>.ckpt.json`` naming convention, so
+    :func:`latest_checkpoint` / :func:`prune_checkpoints` work on state
+    checkpoints unchanged (``keep_last`` applies the same retention).
+    """
+    path = Path(path)
+    with span("resilience.ckpt.save_state") as osp:
+        doc: dict = {
+            "schema": STATE_SCHEMA_ID,
+            "name": name,
+            "step": int(step),
+            "state": state,
+            "meta": dict(meta) if meta else {},
+        }
+        doc["sha256"] = hashlib.sha256(_canonical(doc)).hexdigest()
+        text = json.dumps(doc, sort_keys=True, indent=1) + "\n"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        osp.add("bytes", len(text))
+        obs_add("resilience.ckpt.writes", 1)
+        obs_add("resilience.ckpt.bytes_written", len(text))
+    if keep_last is not None:
+        prune_checkpoints(path.parent, name=name, keep_last=keep_last)
+    return path
+
+
+def load_state_checkpoint(path) -> "StateCheckpoint":
+    """Load and integrity-check one ``state.v1`` checkpoint."""
+    path = Path(path)
+    with span("resilience.ckpt.load_state") as osp:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointCorruption(f"{path}: unreadable checkpoint: {exc}")
+        if not isinstance(doc, dict) or doc.get("schema") != STATE_SCHEMA_ID:
+            raise CheckpointCorruption(
+                f"{path}: schema tag must be {STATE_SCHEMA_ID!r}, "
+                f"got {doc.get('schema')!r}"
+            )
+        digest = doc.get("sha256")
+        if not digest:
+            raise CheckpointCorruption(f"{path}: missing integrity digest")
+        actual = hashlib.sha256(_canonical(doc)).hexdigest()
+        if actual != digest:
+            raise CheckpointCorruption(
+                f"{path}: integrity digest mismatch "
+                f"(stored {digest[:12]}…, computed {actual[:12]}…)"
+            )
+        osp.add("bytes", path.stat().st_size)
+        obs_add("resilience.ckpt.loads", 1)
+    return StateCheckpoint(doc, path)
+
+
+@dataclass
+class StateCheckpoint:
+    """A loaded, integrity-verified ``state.v1`` document."""
+
+    doc: dict
+    path: Path
+
+    @property
+    def name(self) -> str:
+        return self.doc["name"]
+
+    @property
+    def step(self) -> int:
+        return int(self.doc["step"])
+
+    @property
+    def state(self) -> dict:
+        return self.doc["state"]
+
+    @property
+    def meta(self) -> dict:
+        return dict(self.doc.get("meta", {}))
 
 
 def _step_order(path: Path) -> tuple[int, str]:

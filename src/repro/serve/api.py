@@ -180,6 +180,25 @@ class SolveRequest:
         """Canonical sha256 identity of the full request."""
         return _sha256(self.to_doc())
 
+    @classmethod
+    def from_doc(cls, doc: dict) -> "SolveRequest":
+        """Rebuild a request from its canonical document.
+
+        Digest-stable round trip (``from_doc(r.to_doc()).digest ==
+        r.digest``) — the fleet's fail-over checkpoints persist queued
+        requests as documents and rehydrate them on a survivor.
+        """
+        names = {f.name for f in fields(cls)}
+        unknown = set(doc) - names - {"schema"}
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        kw = {k: v for k, v in doc.items() if k in names}
+        if "velocity" in kw:
+            kw["velocity"] = tuple(float(c) for c in kw["velocity"])
+        req = cls(**kw)
+        req.validate()
+        return req
+
     def mesh_doc(self) -> dict:
         """The discretization-determining subset of the request."""
         return {

@@ -21,8 +21,21 @@ Eviction is deterministic LRU over a byte budget: entries are ranked
 by a monotonically increasing use sequence (no wall clock anywhere),
 so identical request streams evict identically — the determinism tests
 replay a stream under different arrival interleavings and assert the
-eviction order matches.  Metrics: ``serve.cache.{hits,misses,
-evictions}`` counters and ``serve.cache.{bytes,entries}`` gauges.
+eviction order matches.  The use sequence is cache-private (not stored
+on the entry), so one :class:`CacheEntry` object can be shared by
+several caches — the fleet layer keeps the same entry in a shard's L1
+and the shared second tier simultaneously.
+
+Metrics: ``serve.cache.{hits,misses,evictions}`` counters and
+``serve.cache.{bytes,entries}`` gauges.  A *named* cache (the fleet
+gives each shard's L1 its shard id) labels every metric with
+``cache="<name>"``, so per-shard cache pressure — bytes and entries
+against the budget — is separable in one registry snapshot; tier
+promotion decisions and ``fleet-stats`` read exactly these gauges.
+
+``on_evict(entry)``, when set, observes every eviction — the fleet's
+demotion hook: an entry falling out of a shard's L1 is offered to the
+shared second tier instead of being dropped.
 """
 
 from __future__ import annotations
@@ -68,7 +81,7 @@ class CacheEntry:
     """
 
     __slots__ = ("fingerprint", "mesh", "ctx", "factors", "_factor_nbytes",
-                 "_base_nbytes", "last_used")
+                 "_base_nbytes")
 
     def __init__(self, fingerprint: str, mesh, ctx):
         self.fingerprint = fingerprint
@@ -77,7 +90,6 @@ class CacheEntry:
         self.factors: dict[str, object] = {}
         self._factor_nbytes: dict[str, int] = {}
         self._base_nbytes = _entry_base_nbytes(mesh, ctx)
-        self.last_used = 0
 
     def add_factor(self, key: str, factor, nbytes: int) -> None:
         self.factors[key] = factor
@@ -91,16 +103,21 @@ class CacheEntry:
 class ArtifactCache:
     """Deterministic byte-budgeted LRU over :class:`CacheEntry` objects."""
 
-    def __init__(self, byte_budget: int = 256 << 20):
+    def __init__(self, byte_budget: int = 256 << 20, name: str | None = None):
         self.byte_budget = int(byte_budget)
+        self.name = name
+        self._labels = {} if name is None else {"cache": name}
         self._entries: dict[str, CacheEntry] = {}   # fingerprint → entry
         self._alias: dict[str, str] = {}            # mesh digest → fingerprint
+        self._lru: dict[str, int] = {}              # fingerprint → use seq
         self._seq = 0
         self.hits = 0
         self.misses = 0
         #: fingerprints in eviction order — asserted bit-identical by
         #: the interleaving-determinism tests
         self.eviction_log: list[str] = []
+        #: observer called with each evicted entry (fleet demotion hook)
+        self.on_evict = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -111,7 +128,7 @@ class ArtifactCache:
 
     def _touch(self, entry: CacheEntry) -> None:
         self._seq += 1
-        entry.last_used = self._seq
+        self._lru[entry.fingerprint] = self._seq
 
     def lookup(self, mesh_digest: str) -> CacheEntry | None:
         """Resolve a request-side mesh digest; publishes hit/miss."""
@@ -119,10 +136,10 @@ class ArtifactCache:
         entry = self._entries.get(fp) if fp is not None else None
         if entry is None:
             self.misses += 1
-            obs_add("serve.cache.misses", 1)
+            obs_add("serve.cache.misses", 1, **self._labels)
             return None
         self.hits += 1
-        obs_add("serve.cache.hits", 1)
+        obs_add("serve.cache.hits", 1, **self._labels)
         self._touch(entry)
         return entry
 
@@ -156,7 +173,7 @@ class ArtifactCache:
             victim = min(
                 (e for e in self._entries.values()
                  if e.fingerprint != protect),
-                key=lambda e: e.last_used,
+                key=lambda e: self._lru[e.fingerprint],
                 default=None,
             )
             if victim is None:
@@ -166,18 +183,22 @@ class ArtifactCache:
 
     def _evict(self, entry: CacheEntry) -> None:
         del self._entries[entry.fingerprint]
+        del self._lru[entry.fingerprint]
         for k in [k for k, fp in self._alias.items()
                   if fp == entry.fingerprint]:
             del self._alias[k]
         self.eviction_log.append(entry.fingerprint)
-        obs_add("serve.cache.evictions", 1)
+        obs_add("serve.cache.evictions", 1, **self._labels)
+        if self.on_evict is not None:
+            self.on_evict(entry)
 
     def _publish_gauges(self) -> None:
-        set_gauge("serve.cache.bytes", self.nbytes)
-        set_gauge("serve.cache.entries", len(self._entries))
+        set_gauge("serve.cache.bytes", self.nbytes, **self._labels)
+        set_gauge("serve.cache.entries", len(self._entries), **self._labels)
 
     def stats(self) -> dict:
         return {
+            "name": self.name,
             "entries": len(self._entries),
             "bytes": self.nbytes,
             "byte_budget": self.byte_budget,

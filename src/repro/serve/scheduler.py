@@ -19,8 +19,11 @@ Mechanics, all bounded and typed:
 * **Bounded admission** — at most ``max_pending`` queued items; the
   service turns an admission refusal into a typed
   :class:`repro.serve.api.Rejected` (``queue_full``) response.
-* **Deadlines** — an item whose dispatch would start after
-  ``t_submit + deadline`` is expired with ``deadline_exceeded``.
+* **Deadlines** — an item whose dispatch would not start strictly
+  before ``t_submit + deadline`` is expired with ``deadline_exceeded``
+  (a deadline equal to the current tick is already missed: the solve
+  would take at least one tick, so dispatching it could never finish
+  in time).
 * **Retry with backoff** — when a batch dies with
   :class:`repro.resilience.faults.SolverBreakdown`, its members are
   re-queued ``backoff * 2**retries`` ticks into the virtual future (up
@@ -106,7 +109,7 @@ class PendingItem:
 
     def expired(self, now: int) -> bool:
         d = self.request.deadline
-        return d is not None and now > self.t_submit + d
+        return d is not None and now >= self.t_submit + d
 
 
 class Scheduler:
@@ -127,18 +130,75 @@ class Scheduler:
     def depth(self) -> int:
         return len(self.pending)
 
-    def submit(self, request: SolveRequest, clock: VirtualClock
-               ) -> PendingItem | None:
-        """Admit a request; None means the queue is full (backpressure)."""
+    def submit(self, request: SolveRequest, clock: VirtualClock, *,
+               t_submit: int | None = None) -> PendingItem | None:
+        """Admit a request; None means the queue is full (backpressure).
+
+        ``t_submit`` overrides the recorded submission tick — the fleet
+        layer passes the *arrival* tick, which can trail the shard's
+        own clock when the shard is busy (latency is measured from
+        arrival, not from when the shard got around to looking).
+        """
         if len(self.pending) >= self.max_pending:
             return None
         self._seq += 1
         item = PendingItem(
             request=request, digest=request.digest,
-            t_submit=clock.now, seq=self._seq, not_before=clock.now,
+            t_submit=clock.now if t_submit is None else int(t_submit),
+            seq=self._seq, not_before=clock.now,
         )
         self.pending.append(item)
         return item
+
+    def adopt(self, request: SolveRequest, clock: VirtualClock, *,
+              t_submit: int, retries: int = 0,
+              not_before: int | None = None) -> PendingItem | None:
+        """Admit an item that already lived on another scheduler.
+
+        Used by cross-shard work stealing and checkpointed fail-over
+        replay: the original submission tick and retry count are
+        preserved (latency and retry budgets carry over), only the
+        dispatch sequence number is local.
+        """
+        item = self.submit(request, clock, t_submit=t_submit)
+        if item is None:
+            return None
+        item.retries = int(retries)
+        if not_before is not None:
+            item.not_before = max(item.not_before, int(not_before))
+        return item
+
+    def steal_items(self, n: int, now: int) -> list[PendingItem]:
+        """Remove up to ``n`` pending items for migration to another
+        shard — the *tail* of the dispatch order (the work this queue
+        would get to last), skipping expired and backed-off items.
+
+        Taking from the tail keeps the head batch intact (the items
+        about to dispatch here stay here) and is deterministic: the
+        dispatch order is keyed by (priority, digest, seq), so any run
+        of the same fleet state steals the same items.
+        """
+        if n <= 0:
+            return []
+        eligible = [it for it in self.pending
+                    if it.not_before <= now and not it.expired(now)]
+        victims = sorted(eligible, key=lambda it: it.sort_key)[-n:]
+        for it in victims:
+            self.pending.remove(it)
+        return victims
+
+    def ready_time(self, clock: VirtualClock) -> int | None:
+        """The earliest virtual tick this queue could act: ``None``
+        when empty, ``clock.now`` if anything is dispatchable or
+        already expired, else the earliest backed-off ``not_before``.
+        The fleet's discrete-event loop uses this to pick which shard
+        moves next."""
+        if not self.pending:
+            return None
+        if any(it.not_before <= clock.now or it.expired(clock.now)
+               for it in self.pending):
+            return clock.now
+        return min(it.not_before for it in self.pending)
 
     def requeue(self, item: PendingItem, clock: VirtualClock) -> None:
         """Back off a broken-down item: eligible again at

@@ -60,8 +60,9 @@ class SolverService:
     def __init__(self, *, cache_bytes: int = 256 << 20,
                  max_pending: int = 128, max_batch: int = 8,
                  max_retries: int = 2, backoff: int = 1000,
-                 fault_injector=None):
-        self.cache = ArtifactCache(cache_bytes)
+                 fault_injector=None, name: str | None = None):
+        self.name = name
+        self.cache = ArtifactCache(cache_bytes, name=name)
         self.scheduler = Scheduler(
             max_pending=max_pending, max_batch=max_batch,
             max_retries=max_retries, backoff=backoff,
@@ -74,19 +75,25 @@ class SolverService:
         self.batched_requests = 0
         self._status_counts: dict[str, int] = {}
         self._stream = hashlib.sha256()
+        #: observer called with every finalized response — the fleet
+        #: layer hangs its durable completion log and digests here
+        self.on_response = None
 
     # -- submission ------------------------------------------------------
 
-    def submit(self, request: SolveRequest) -> SolveResponse | None:
+    def submit(self, request: SolveRequest, *,
+               t_submit: int | None = None) -> SolveResponse | None:
         """Admit a request.  Returns ``None`` on acceptance or a typed
         :class:`Rejected` (already finalized into the stream) when the
-        queue is full."""
+        queue is full.  ``t_submit`` overrides the recorded submission
+        tick (fleet arrivals trail the shard clock when it is busy)."""
         request.validate()
-        item = self.scheduler.submit(request, self.clock)
+        item = self.scheduler.submit(request, self.clock, t_submit=t_submit)
         if item is None:
+            now = self.clock.now if t_submit is None else int(t_submit)
             rej = Rejected(
                 request.digest, "queue_full", pde=request.pde,
-                t_submit=self.clock.now, t_done=self.clock.now,
+                t_submit=now, t_done=self.clock.now,
             )
             self._finalize(rej)
             return rej
@@ -95,34 +102,58 @@ class SolverService:
 
     # -- the serving loop ------------------------------------------------
 
+    def step(self) -> list[SolveResponse]:
+        """One scheduling round: expire what is overdue, run one batch.
+
+        The fleet's discrete-event loop interleaves many shards by
+        stepping each one batch at a time; :meth:`drain` is just
+        ``step`` until empty."""
+        done: list[SolveResponse] = []
+        batch, expired = self.scheduler.next_batch(self.clock)
+        for it in expired:
+            done.append(self._finalize(Rejected(
+                it.digest, "deadline_exceeded", pde=it.request.pde,
+                t_submit=it.t_submit, t_done=self.clock.now,
+                retries=it.retries,
+            )))
+        set_gauge("serve.queue_depth", self.scheduler.depth)
+        if batch:
+            done.extend(self._run_batch(batch))
+        return done
+
     def drain(self) -> list[SolveResponse]:
         """Run the event loop until the queue is empty; returns the
         responses completed by this call, in completion order."""
         done: list[SolveResponse] = []
         while self.scheduler.depth:
-            batch, expired = self.scheduler.next_batch(self.clock)
-            for it in expired:
-                done.append(self._finalize(Rejected(
-                    it.digest, "deadline_exceeded", pde=it.request.pde,
-                    t_submit=it.t_submit, t_done=self.clock.now,
-                    retries=it.retries,
-                )))
-            set_gauge("serve.queue_depth", self.scheduler.depth)
-            if batch:
-                done.extend(self._run_batch(batch))
+            done.extend(self.step())
         return done
+
+    def ready_time(self) -> int | None:
+        """Earliest virtual tick this service could act (see
+        :meth:`repro.serve.scheduler.Scheduler.ready_time`)."""
+        return self.scheduler.ready_time(self.clock)
+
+    def _resolve_entry(self, request: SolveRequest):
+        """Resolve the request's cache entry; the shard adapter hook.
+
+        Returns ``(entry, hit)``.  The base service knows one tier: L1
+        miss → build (advancing the clock by the build cost).  The
+        fleet's shard override consults the shared second tier between
+        the miss and the build."""
+        entry = self.cache.lookup(request.mesh_digest)
+        if entry is not None:
+            return entry, True
+        entry = build_entry(request)
+        self.clock.advance(cost_build(entry.mesh.n_elem))
+        return self.cache.insert(request.mesh_digest, entry), False
 
     def _run_batch(self, batch: list[PendingItem]) -> list[SolveResponse]:
         req0 = batch[0].request
         out: list[SolveResponse] = []
         with span("serve.batch", pde=req0.pde) as bsp:
             t_start = self.clock.now
-            entry = self.cache.lookup(req0.mesh_digest)
-            hit = entry is not None
-            if entry is None:
-                entry = build_entry(req0)
-                self.clock.advance(cost_build(entry.mesh.n_elem))
-                entry = self.cache.insert(req0.mesh_digest, entry)
+            entry, hit = self._resolve_entry(req0)
             factor, built = ensure_factor(entry, req0)
             if built:
                 self.clock.advance(cost_factor(entry.mesh.n_nodes))
@@ -193,6 +224,8 @@ class SolverService:
             rsp.add("latency_ticks", resp.latency)
         obs_add("serve.requests", 1, status=resp.status)
         obs_observe("serve.latency_ticks", resp.latency)
+        if self.on_response is not None:
+            self.on_response(resp)
         return resp
 
     @property

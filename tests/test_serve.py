@@ -290,6 +290,76 @@ def test_retries_exhausted_is_typed_failure():
     assert svc.stats()["status"] == {"failed": 1}
 
 
+# -- deadline edge case (regression) -------------------------------------
+
+
+def test_deadline_equal_to_current_tick_is_expired():
+    """A request whose deadline equals the current tick is already
+    missed: the solve takes at least one tick, so dispatching it could
+    never finish in time (regression: the old check used a strict
+    inequality and dispatched it anyway)."""
+    from repro.serve import PendingItem
+
+    item = PendingItem(request=_req(deadline=10), digest="d",
+                       t_submit=100, seq=1)
+    assert not item.expired(109)
+    assert item.expired(110)  # deadline == now: reject, don't dispatch
+    assert item.expired(111)
+
+
+def test_deadline_equal_tick_rejected_through_service():
+    svc = SolverService()
+    svc.submit(_req(priority=0, deadline=0))
+    done = svc.drain()
+    (r,) = done
+    assert r.status == "rejected" and r.reason == "deadline_exceeded"
+
+
+# -- per-cache gauges and the step loop ----------------------------------
+
+
+def test_named_caches_publish_labeled_gauges(traced):
+    """Two services with named caches must not overwrite each other's
+    byte/entry gauges — fleet-stats reads per-shard cache pressure from
+    the ``cache=<name>`` label."""
+    a = SolverService(name="shardA")
+    b = SolverService(name="shardB")
+    a.submit(_req(f=1.0))
+    a.drain()
+    b.submit(_req(geometry=SMALL_DISK, f=1.0))
+    b.drain()
+    bytes_a = obs.get_value("serve.cache.bytes", cache="shardA")
+    bytes_b = obs.get_value("serve.cache.bytes", cache="shardB")
+    assert bytes_a and bytes_b and bytes_a != bytes_b
+    assert obs.get_value("serve.cache.entries", cache="shardA") == 1
+    assert obs.get_value("serve.cache.misses", cache="shardB") == 1
+    # unnamed services keep the label-free series
+    c = SolverService()
+    c.submit(_req(f=2.0))
+    c.drain()
+    assert obs.get_value("serve.cache.entries") == 1
+    assert a.cache.stats()["name"] == "shardA"
+
+
+def test_step_loop_equivalent_to_drain():
+    def run(stepwise):
+        svc = SolverService(max_batch=4)
+        for r in demo_workload(10, seed=3):
+            svc.submit(r)
+        if stepwise:
+            done = []
+            while svc.scheduler.depth:
+                done.extend(svc.step())
+        else:
+            done = svc.drain()
+        return svc, done
+
+    a, da = run(stepwise=True)
+    b, db = run(stepwise=False)
+    assert [r.digest for r in da] == [r.digest for r in db]
+    assert a.stream_digest == b.stream_digest
+
+
 # -- demo workload -------------------------------------------------------
 
 
