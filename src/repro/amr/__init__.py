@@ -1,0 +1,20 @@
+"""Estimator-driven adaptive mesh refinement (AMR).
+
+The solve → estimate → mark → refine loop that turns the paper's fast
+re-meshing and this repo's incremental operator-plan deltas
+(:mod:`repro.core.plan_delta`) into an adaptive solver: each cycle pays
+roughly the *churn fraction* of a full mesh rebuild, and the refined
+solution warm-starts the next CG solve.
+"""
+
+from .estimators import poisson_estimator
+from .loop import AMRResult, amr_solve
+from .marking import dorfler_mark, maximum_mark
+
+__all__ = [
+    "poisson_estimator",
+    "dorfler_mark",
+    "maximum_mark",
+    "amr_solve",
+    "AMRResult",
+]

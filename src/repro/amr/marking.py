@@ -1,0 +1,41 @@
+"""Marking strategies turning error indicators into refinement sets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dorfler_mark", "maximum_mark"]
+
+
+def dorfler_mark(eta2: np.ndarray, theta: float = 0.5) -> np.ndarray:
+    """Dörfler (bulk-chasing) marking.
+
+    Marks a minimal set M (greedily, largest indicators first) with
+    ``Σ_{K∈M} η_K² ≥ θ · Σ_K η_K²``.  Scale-invariant: marking depends
+    only on the *relative* distribution of the indicators, so scaling
+    the data (f, g) by any constant leaves the marked set unchanged —
+    the property the serving layer exploits to share one refinement
+    trajectory across a batch of proportional requests.
+    """
+    eta2 = np.asarray(eta2, float)
+    if not 0.0 < theta <= 1.0:
+        raise ValueError("theta must be in (0, 1]")
+    total = float(eta2.sum())
+    marks = np.zeros(len(eta2), bool)
+    if total <= 0.0:
+        return marks
+    order = np.argsort(eta2, kind="stable")[::-1]
+    csum = np.cumsum(eta2[order])
+    k = int(np.searchsorted(csum, theta * total, side="left")) + 1
+    marks[order[: min(k, len(eta2))]] = True
+    return marks
+
+
+def maximum_mark(eta2: np.ndarray, theta: float = 0.5) -> np.ndarray:
+    """Maximum-strategy marking: ``η_K ≥ θ · max_K η_K``."""
+    eta2 = np.asarray(eta2, float)
+    if not 0.0 < theta <= 1.0:
+        raise ValueError("theta must be in (0, 1]")
+    if len(eta2) == 0 or eta2.max() <= 0.0:
+        return np.zeros(len(eta2), bool)
+    return eta2 >= theta**2 * eta2.max()

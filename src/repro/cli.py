@@ -357,6 +357,65 @@ def cmd_serve_demo(args) -> None:
     _emit(lines, args.out)
 
 
+def _amr_lshape_exact(pts):
+    """r^{2/3} sin(2θ/3) around the re-entrant corner at (0.5, 0.5)."""
+    x = pts[:, 0] - 0.5
+    y = pts[:, 1] - 0.5
+    r = np.hypot(x, y)
+    theta = np.mod(np.arctan2(y, x) - np.pi / 2, 2 * np.pi)
+    return np.where(r > 0, r ** (2.0 / 3.0), 0.0) * np.sin(2.0 * theta / 3.0)
+
+
+def cmd_amr_demo(args) -> None:
+    """Run the estimator-driven AMR loop on a canonical problem."""
+    from .amr import amr_solve
+    from .core.domain import Domain
+    from .geometry import BoxCarve, SphereCarve
+
+    if args.case == "lshape":
+        domain = Domain(BoxCarve([0.5, 0.5], [1.0, 1.0]), dim=2, scale=1.0)
+        f, g, exact = 0.0, _amr_lshape_exact, _amr_lshape_exact
+    else:  # "source": sharp off-dyadic Gaussian — exercises the
+        # incremental plan-delta path (refinement stays SFC-local)
+        domain = Domain(SphereCarve([0.62, 0.38], 0.2), dim=2, scale=1.0)
+
+        def f(pts):
+            d2 = ((pts - np.array([0.3, 0.7])) ** 2).sum(axis=1)
+            return 100.0 * np.exp(-d2 / (2 * 0.02**2))
+
+        g, exact = 0.0, None
+    res = amr_solve(
+        domain, f, g,
+        base_level=args.base_level,
+        boundary_level=args.boundary_level or args.base_level,
+        max_cycles=args.cycles, theta=args.theta, exact=exact,
+        check_equivalence=not args.no_equivalence_check,
+    )
+    lines = [
+        f"# amr-demo: case={args.case} cycles={args.cycles} "
+        f"theta={args.theta} base={args.base_level}",
+        "cycle  n_elem   n_dofs   eta        churn  incr"
+        + ("  l2_error" if exact else ""),
+    ]
+    for rec in res.history:
+        row = (
+            f"{rec['cycle']:>5}  {rec['n_elem']:>6}  {rec['n_dofs']:>7}  "
+            f"{rec['eta']:.3e}  {rec['churn']:.3f}  {str(rec['incremental']):<5}"
+        )
+        if exact:
+            row += f" {rec['error_l2']:.3e}"
+        lines.append(row)
+    inc_steps = sum(1 for r in res.history if r["incremental"])
+    lines.append(
+        f"incremental steps: {inc_steps}/{max(len(res.history) - 1, 0)} "
+        f"(equivalence gate {'ON' if not args.no_equivalence_check else 'off'})"
+    )
+    lines.append(f"final: {res.mesh.n_elem} elements, {res.n_dofs} DOFs, "
+                 f"eta={res.total_eta:.3e}")
+    lines.append(f"digest: {res.digest()}")
+    _emit(lines, args.out)
+
+
 def cmd_serve_stats(args) -> None:
     """Render a serve-demo JSON report."""
     import json
@@ -540,7 +599,10 @@ def cmd_trace_diff(args) -> None:
         load_artifact(args.base), load_artifact(args.new), tol=args.tol
     )
     print(render_diff(deltas, args.tol))
-    if any(d.status in ("slower", "added", "removed") for d in deltas):
+    if any(
+        d.status in ("slower", "added", "removed") or d.counter_deltas
+        for d in deltas
+    ):
         raise SystemExit(1)
 
 
@@ -624,6 +686,23 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--trace-out", default=None,
                    help="run-artifact path (default trace_<command>.json)")
     s.set_defaults(func=cmd_serve_demo, trace_name="serve-demo")
+
+    s = sub.add_parser(
+        "amr-demo",
+        help="estimator-driven adaptive refinement loop "
+             "(incremental operator-plan deltas + equivalence gate)",
+    )
+    s.add_argument("--case", choices=("lshape", "source"), default="lshape")
+    s.add_argument("--cycles", type=int, default=6)
+    s.add_argument("--theta", type=float, default=0.5)
+    s.add_argument("--base-level", type=int, default=3)
+    s.add_argument("--boundary-level", type=int, default=None)
+    s.add_argument("--no-equivalence-check", action="store_true",
+                   help="skip the incremental-vs-full bit-identity gate")
+    s.add_argument("--out", default=None)
+    s.add_argument("--trace-out", default=None,
+                   help="run-artifact path (default trace_<command>.json)")
+    s.set_defaults(func=cmd_amr_demo, trace_name="amr-demo")
 
     s = sub.add_parser("serve-stats",
                        help="render a serve-demo JSON report")

@@ -1,5 +1,6 @@
 """Core incomplete-octree algorithms (the paper's primary contribution)."""
 
+from .adapt import AdaptMap, coarsen_leaves, leaf_correspondence, refine_leaves
 from .balance import balance_2to1, is_balanced
 from .construct import construct_adaptive, construct_constrained, construct_uniform
 from .distributed import dist_tree_sort, distributed_construct_constrained
@@ -8,7 +9,15 @@ from .faces import extract_boundary_faces
 from .mesh import IncompleteMesh, build_mesh, build_uniform_mesh
 from .nodes import MeshNodes, build_nodes
 from .octant import OctantSet, max_level
-from .plan import OperatorContext, TraversalPlan, mesh_fingerprint, operator_context
+from .plan import (
+    OperatorContext,
+    PlanDelta,
+    TraversalPlan,
+    diff_leaves,
+    mesh_fingerprint,
+    operator_context,
+)
+from .plan_delta import PlanUpdateReport, assert_plan_equivalent, update_mesh
 from .sfc import HilbertOrder, MortonOrder, get_curve
 from .treesort import linearize, tree_sort
 
@@ -36,6 +45,15 @@ __all__ = [
     "TraversalPlan",
     "operator_context",
     "mesh_fingerprint",
+    "PlanDelta",
+    "diff_leaves",
+    "PlanUpdateReport",
+    "update_mesh",
+    "assert_plan_equivalent",
+    "AdaptMap",
+    "refine_leaves",
+    "coarsen_leaves",
+    "leaf_correspondence",
     "dist_tree_sort",
     "distributed_construct_constrained",
 ]

@@ -38,7 +38,7 @@ from ..fem.basis import LagrangeBasis, local_node_offsets
 from ..obs import span
 from .domain import Domain
 from .octant import OctantSet, max_level
-from .sfc import get_curve
+from .sfc import cached_keys, get_curve
 from .treesort import block_ends
 
 __all__ = ["MeshNodes", "build_nodes", "cancellation_offsets"]
@@ -79,6 +79,14 @@ class MeshNodes:
         *subdomain boundary* nodes where Dirichlet data is imposed.
     domain_boundary:
         bool ``(n_glob,)``: node on the boundary of the root cube.
+    hang_elem / hang_slot / hang_donor / hang_W:
+        raw hanging-slot data, one row per hanging slot in row-major
+        ``(elem, slot)`` order: the element and local slot index, the
+        donor element, and the ``(npe,)`` donor Lagrange weight row
+        (post small-weight zeroing).  This is what the incremental plan
+        update (:mod:`repro.core.plan_delta`) needs to re-resolve
+        chained hanging rows bit-identically without a full rebuild.
+        ``None`` on nodes built by code predating the delta path.
     """
 
     p: int
@@ -89,6 +97,10 @@ class MeshNodes:
     carved_node: np.ndarray
     domain_boundary: np.ndarray
     h_node: float  # physical length of one 2p-scaled unit
+    hang_elem: np.ndarray | None = None
+    hang_slot: np.ndarray | None = None
+    hang_donor: np.ndarray | None = None
+    hang_W: np.ndarray | None = None
 
     @property
     def n_glob(self) -> int:
@@ -216,53 +228,13 @@ def _build_nodes(
         don, xi = _find_donors(domain, leaves, hang_e, hang_i, p, curve)
         W = basis.eval(xi)  # (n_h, npe)
         W[np.abs(W) < 1e-12] = 0.0
-        G = elem_nodes[don]  # (n_h, npe)
-        needs_chain = np.any((W != 0) & (G < 0), axis=1)
-        easy = np.flatnonzero(~needs_chain)
-        if len(easy):
-            r = (hang_e[easy] * npe + hang_i[easy])[:, None] * np.ones(
-                npe, np.int64
-            )
-            nz = W[easy] != 0
-            rows_list.append(r[nz])
-            cols_list.append(G[easy][nz])
-            vals_list.append(W[easy][nz])
-        hard = np.flatnonzero(needs_chain)
-        if len(hard):
-            h_index = {
-                (int(e), int(i)): h for h, (e, i) in enumerate(zip(hang_e, hang_i))
-            }
-            memo: dict[tuple[int, int], dict[int, float]] = {}
-
-            def resolve(e: int, i: int) -> dict[int, float]:
-                key = (e, i)
-                if key in memo:
-                    return memo[key]
-                g = int(elem_nodes[e, i])
-                if g >= 0:
-                    memo[key] = {g: 1.0}
-                    return memo[key]
-                h = h_index[key]
-                row: dict[int, float] = {}
-                de = int(don[h])
-                for k in range(npe):
-                    w = float(W[h, k])
-                    if w == 0.0:
-                        continue
-                    for gg, ww in resolve(de, k).items():
-                        row[gg] = row.get(gg, 0.0) + w * ww
-                memo[key] = row
-                return row
-
-            for h in hard:
-                e, i = int(hang_e[h]), int(hang_i[h])
-                row = resolve(e, i)
-                rr = e * npe + i
-                for gg, ww in row.items():
-                    if ww != 0.0:
-                        rows_list.append(np.array([rr]))
-                        cols_list.append(np.array([gg]))
-                        vals_list.append(np.array([ww]))
+        hr, hc, hv = _hanging_entries(elem_nodes, hang_e, hang_i, don, W, npe)
+        rows_list += hr
+        cols_list += hc
+        vals_list += hv
+    else:
+        don = np.empty(0, np.int64)
+        W = np.empty((0, npe))
 
     n_glob = len(coords)
     gather = sp.csr_matrix(
@@ -289,7 +261,87 @@ def _build_nodes(
         carved_node=carved_node,
         domain_boundary=domain_boundary,
         h_node=h_node,
+        hang_elem=hang_e.astype(np.int64),
+        hang_slot=hang_i.astype(np.int64),
+        hang_donor=don.astype(np.int64),
+        hang_W=W,
     )
+
+
+def _hanging_entries(
+    elem_nodes: np.ndarray,
+    hang_e: np.ndarray,
+    hang_i: np.ndarray,
+    don: np.ndarray,
+    W: np.ndarray,
+    npe: int,
+):
+    """Gather entries for the given hanging slots.
+
+    ``(hang_e[h], hang_i[h])`` is a hanging slot whose donor element is
+    ``don[h]`` with Lagrange weight row ``W[h]``.  Slots whose donor row
+    is itself partly hanging are resolved by recursive substitution —
+    the slot list must therefore be *closed* under the donor relation
+    (every slot reachable during the descent must appear in it; the full
+    build passes all slots, the incremental build passes the recompute
+    set plus its transitive donor closure).
+
+    Returns three lists of arrays ``(rows, cols, vals)``.  Per-slot
+    values depend only on that slot's donor chain data (weights and
+    iteration order are chain-local), which is what makes incremental
+    re-resolution bit-identical to a full rebuild.
+    """
+    rows_list: list[np.ndarray] = []
+    cols_list: list[np.ndarray] = []
+    vals_list: list[np.ndarray] = []
+    G = elem_nodes[don]  # (n_h, npe)
+    needs_chain = np.any((W != 0) & (G < 0), axis=1)
+    easy = np.flatnonzero(~needs_chain)
+    if len(easy):
+        r = (hang_e[easy] * npe + hang_i[easy])[:, None] * np.ones(
+            npe, np.int64
+        )
+        nz = W[easy] != 0
+        rows_list.append(r[nz])
+        cols_list.append(G[easy][nz])
+        vals_list.append(W[easy][nz])
+    hard = np.flatnonzero(needs_chain)
+    if len(hard):
+        h_index = {
+            (int(e), int(i)): h for h, (e, i) in enumerate(zip(hang_e, hang_i))
+        }
+        memo: dict[tuple[int, int], dict[int, float]] = {}
+
+        def resolve(e: int, i: int) -> dict[int, float]:
+            key = (e, i)
+            if key in memo:
+                return memo[key]
+            g = int(elem_nodes[e, i])
+            if g >= 0:
+                memo[key] = {g: 1.0}
+                return memo[key]
+            h = h_index[key]
+            row: dict[int, float] = {}
+            de = int(don[h])
+            for k in range(npe):
+                w = float(W[h, k])
+                if w == 0.0:
+                    continue
+                for gg, ww in resolve(de, k).items():
+                    row[gg] = row.get(gg, 0.0) + w * ww
+            memo[key] = row
+            return row
+
+        for h in hard:
+            e, i = int(hang_e[h]), int(hang_i[h])
+            row = resolve(e, i)
+            rr = e * npe + i
+            for gg, ww in row.items():
+                if ww != 0.0:
+                    rows_list.append(np.array([rr]))
+                    cols_list.append(np.array([gg]))
+                    vals_list.append(np.array([ww]))
+    return rows_list, cols_list, vals_list
 
 
 def _find_donors(
@@ -311,7 +363,7 @@ def _find_donors(
     dim = domain.dim
     m = max_level(dim)
     oracle = get_curve(curve)
-    keys = oracle.keys(leaves)
+    keys = cached_keys(leaves, oracle)
     ends = block_ends(keys, leaves.levels, dim)
     ord_off = local_node_offsets(p, dim)
 

@@ -32,13 +32,46 @@ def _interleave(coords: np.ndarray, nbits: int, reverse_axes: bool) -> np.ndarra
     c = np.ascontiguousarray(coords, dtype=np.uint64)
     n, dim = c.shape
     key = np.zeros(n, np.uint64)
+    if dim == 2 and nbits <= 32:
+        spread = _spread_1by1
+    elif dim == 3 and nbits <= 21:
+        spread = _spread_1by2
+    else:
+        spread = None
     for i in range(dim):
         pos = (dim - 1 - i) if reverse_axes else i
         col = c[:, i]
+        if spread is not None:
+            key |= spread(col) << np.uint64(pos)
+            continue
         for j in range(nbits):
             bit = (col >> np.uint64(j)) & np.uint64(1)
             key |= bit << np.uint64(j * dim + pos)
     return key
+
+
+def _spread_1by1(x: np.ndarray) -> np.ndarray:
+    """Spread the low 32 bits of ``x``: bit j lands at position 2j."""
+    u = np.uint64
+    x = x & u(0xFFFFFFFF)
+    x = (x | (x << u(16))) & u(0x0000FFFF0000FFFF)
+    x = (x | (x << u(8))) & u(0x00FF00FF00FF00FF)
+    x = (x | (x << u(4))) & u(0x0F0F0F0F0F0F0F0F)
+    x = (x | (x << u(2))) & u(0x3333333333333333)
+    x = (x | (x << u(1))) & u(0x5555555555555555)
+    return x
+
+
+def _spread_1by2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of ``x``: bit j lands at position 3j."""
+    u = np.uint64
+    x = x & u(0x1FFFFF)
+    x = (x | (x << u(32))) & u(0x001F00000000FFFF)
+    x = (x | (x << u(16))) & u(0x001F0000FF0000FF)
+    x = (x | (x << u(8))) & u(0x100F00F00F00F00F)
+    x = (x | (x << u(4))) & u(0x10C30C30C30C30C3)
+    x = (x | (x << u(2))) & u(0x1249249249249249)
+    return x
 
 
 def _axes_to_transpose(coords: np.ndarray, nbits: int) -> np.ndarray:
@@ -121,6 +154,28 @@ def get_curve(curve: "str | SFCOracle") -> SFCOracle:
         return _CURVES[curve]
     except KeyError:
         raise ValueError(f"unknown SFC curve {curve!r}; options: {sorted(_CURVES)}")
+
+
+def cached_keys(oset: OctantSet, curve: "str | SFCOracle" = "morton") -> np.ndarray:
+    """Block-aligned keys of ``oset``, memoized on the octant set.
+
+    Octant sets are treated as immutable throughout the repo (every
+    operation returns a new set), so the keys are computed once per
+    (set, curve) and reused — the incremental plan path
+    (:mod:`repro.core.plan_delta`) queries the same leaf arrays several
+    times per AMR step.  The returned array is marked read-only.
+    """
+    oracle = get_curve(curve)
+    cache = getattr(oset, "_sfc_keys", None)
+    if cache is None:
+        cache = {}
+        oset._sfc_keys = cache
+    keys = cache.get(oracle.name)
+    if keys is None:
+        keys = oracle.keys(oset)
+        keys.flags.writeable = False
+        cache[oracle.name] = keys
+    return keys
 
 
 def sfc_sort_order(oset: OctantSet, curve: "str | SFCOracle" = "morton") -> np.ndarray:

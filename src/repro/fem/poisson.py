@@ -107,7 +107,12 @@ class PoissonProblem:
             raise ValueError(f"unknown method {self.method!r}")
         return A, b, fixed
 
-    def solve(self, rtol: float = 1e-10, solver: str = "auto") -> np.ndarray:
+    def solve(
+        self,
+        rtol: float = 1e-10,
+        solver: str = "auto",
+        x0: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Solve the problem.
 
         ``solver``: ``"auto"`` (direct for SBM, CG otherwise),
@@ -116,6 +121,11 @@ class PoissonProblem:
         operator action is the gather → elemental kernel → scatter
         MATVEC with boundary rows folded in, exactly the workflow the
         paper's traversal MATVEC enables.
+
+        ``x0`` (length ``n_nodes``) warm-starts the CG iteration — the
+        AMR loop passes the previous mesh's solution transferred to the
+        current mesh, cutting iteration counts on later cycles.  Ignored
+        by the direct solver.
         """
         if solver == "matrix-free":
             return self._solve_matrix_free(rtol)
@@ -134,7 +144,15 @@ class PoissonProblem:
 
             u[free] = spla.spsolve(Aff.tocsc(), rhs)
         else:
-            res = cg(Aff, rhs, M=jacobi(Aff), rtol=rtol, maxiter=20 * len(free))
+            start = None if x0 is None else np.asarray(x0, float)[free]
+            res = cg(
+                Aff,
+                rhs,
+                x0=start,
+                M=jacobi(Aff),
+                rtol=rtol,
+                maxiter=20 * len(free),
+            )
             if not res.converged:
                 raise RuntimeError(
                     f"CG failed to converge: residual {res.residual:.3e}"

@@ -32,6 +32,7 @@ __all__ = [
     "analyze_partition",
     "ExchangePlan",
     "exchange_plan",
+    "update_exchange_plan",
 ]
 
 
@@ -156,7 +157,12 @@ class ExchangePlan:
     gather on every call.
     """
 
-    def __init__(self, mesh: IncompleteMesh, layout: PartitionLayout):
+    def __init__(
+        self,
+        mesh: IncompleteMesh,
+        layout: PartitionLayout,
+        _reuse: "dict[int, tuple[sp.csr_matrix, sp.csc_matrix]] | None" = None,
+    ):
         ctx = operator_context(mesh)
         self.mesh = mesh
         self.layout = layout
@@ -174,34 +180,53 @@ class ExchangePlan:
         self.g_loc_T: list[sp.csc_matrix | None] = []
         self.send_ids: dict[tuple[int, int], np.ndarray] = {}
         self.ghost_pos: dict[tuple[int, int], np.ndarray] = {}
+        self.reused_ranks = 0
         for r in range(nranks):
+            self._build_rank_exchange(layout, r)
             lo, hi = splits[r], splits[r + 1]
-            ref = layout.ref_nodes[r]
-            gh, src = layout.ghost_nodes[r], layout.ghost_sources[r]
-            mine = layout.node_owner[ref] == r
-            self.mine.append(mine)
-            self.owned_ids.append(ref[mine])
-            gpos = np.searchsorted(ref, gh)
-            for owner in layout.neighbor_ranks[r]:
-                sel = src == owner
-                self.send_ids[(int(owner), r)] = gh[sel]
-                self.ghost_pos[(int(owner), r)] = gpos[sel]
             if hi <= lo:
                 self.g_loc.append(None)
                 self.g_loc_T.append(None)
                 continue
-            # restrict the gather operator to this rank's rows and
-            # remap columns into the local index space
-            g_r = g[lo * npe : hi * npe]
-            local_cols = np.searchsorted(ref, g_r.indices)
-            g_loc = sp.csr_matrix(
-                (g_r.data, local_cols, g_r.indptr),
-                shape=(g_r.shape[0], len(ref)),
-            )
+            if _reuse is not None and r in _reuse:
+                g_loc, g_loc_T = _reuse[r]
+                self.g_loc.append(g_loc)
+                self.g_loc_T.append(g_loc_T)
+                self.reused_ranks += 1
+                continue
+            g_loc = self._build_rank_operator(g, layout, r, npe)
             self.g_loc.append(g_loc)
             # the CSC transpose shares g_loc's arrays; prebuilding it
             # keeps scipy's per-call transpose wrapper off the hot path
             self.g_loc_T.append(g_loc.T)
+
+    def _build_rank_exchange(self, layout: PartitionLayout, r: int) -> None:
+        """Per-rank send/recv index arrays and ownership masks (cheap)."""
+        ref = layout.ref_nodes[r]
+        gh, src = layout.ghost_nodes[r], layout.ghost_sources[r]
+        mine = layout.node_owner[ref] == r
+        self.mine.append(mine)
+        self.owned_ids.append(ref[mine])
+        gpos = np.searchsorted(ref, gh)
+        for owner in layout.neighbor_ranks[r]:
+            sel = src == owner
+            self.send_ids[(int(owner), r)] = gh[sel]
+            self.ghost_pos[(int(owner), r)] = gpos[sel]
+
+    @staticmethod
+    def _build_rank_operator(
+        g: sp.csr_matrix, layout: PartitionLayout, r: int, npe: int
+    ) -> sp.csr_matrix:
+        """Rank ``r``'s gather rows with columns remapped into its local
+        (referenced-node) index space — the expensive per-rank piece."""
+        lo, hi = layout.splits[r], layout.splits[r + 1]
+        ref = layout.ref_nodes[r]
+        g_r = g[lo * npe : hi * npe]
+        local_cols = np.searchsorted(ref, g_r.indices)
+        return sp.csr_matrix(
+            (g_r.data, local_cols, g_r.indptr),
+            shape=(g_r.shape[0], len(ref)),
+        )
 
     def nbytes(self) -> int:
         """Resident bytes of the plan's index/operator arrays — the
@@ -235,5 +260,57 @@ def exchange_plan(mesh: IncompleteMesh, layout: PartitionLayout) -> ExchangePlan
     with span("plan.exchange_build") as osp:
         plan = ExchangePlan(mesh, layout)
         osp.add("ranks", layout.nranks)
+    layout._exchange_plan = plan
+    return plan
+
+
+def update_exchange_plan(
+    mesh: IncompleteMesh, layout: PartitionLayout, old_plan: ExchangePlan
+) -> ExchangePlan:
+    """Build ``mesh``'s :class:`ExchangePlan`, reusing per-rank operators
+    from ``old_plan`` where the incremental plan delta proves them valid.
+
+    ``mesh`` must come out of :func:`repro.core.plan_delta.update_mesh`
+    (it carries a :class:`~repro.core.plan_delta.PlanUpdateReport`).  A
+    rank's restricted gather ``g_loc[r]`` is bit-identical to a fresh
+    build — and therefore reused — when
+
+    * its element window is unchanged (same splits) and every element in
+      it is *clean* (its gather row was spliced, not recomputed), and
+    * its referenced-node set maps elementwise through the old→new
+      ``gid_map`` onto the new referenced set (no node in the window
+      vanished or appeared; the monotone gid_map preserves the local
+      column order).
+
+    All cheap per-rank index arrays (send/recv ids, ownership masks) are
+    rebuilt fresh from ``layout`` — they live in *global* node ids, which
+    shift under the delta.  Ranks failing the conditions rebuild their
+    operator exactly as :class:`ExchangePlan` would.
+    """
+    report = getattr(mesh, "_plan_update", None)
+    if report is None or not report.incremental:
+        return exchange_plan(mesh, layout)
+    gid_map = report.gid_map
+    clean = report.clean_new
+    ol = old_plan.layout
+    reuse: dict[int, tuple[sp.csr_matrix, sp.csc_matrix]] = {}
+    for r in range(layout.nranks):
+        lo, hi = int(layout.splits[r]), int(layout.splits[r + 1])
+        if hi <= lo or r >= ol.nranks:
+            continue
+        if int(ol.splits[r]) != lo or int(ol.splits[r + 1]) != hi:
+            continue
+        if old_plan.g_loc[r] is None or not clean[lo:hi].all():
+            continue
+        mapped = gid_map[ol.ref_nodes[r]]
+        if (mapped < 0).any() or not np.array_equal(
+            mapped, layout.ref_nodes[r]
+        ):
+            continue
+        reuse[r] = (old_plan.g_loc[r], old_plan.g_loc_T[r])
+    with span("plan.exchange_update") as osp:
+        plan = ExchangePlan(mesh, layout, _reuse=reuse)
+        osp.add("ranks", layout.nranks)
+        osp.add("ranks_reused", plan.reused_ranks)
     layout._exchange_plan = plan
     return plan

@@ -52,8 +52,11 @@ RESP_SCHEMA_ID = "repro.serve/resp.v1"
 
 #: Supported PDE kinds: strong-Dirichlet Poisson (batched multi-RHS
 #: CG), Shifted-Boundary-Method Poisson (cached LU), SUPG transport
-#: (cached implicit-Euler LU, block time stepping).
-PDE_KINDS = ("poisson", "sbm", "transport")
+#: (cached implicit-Euler LU, block time stepping), adaptive Poisson
+#: (one cached estimator-driven refinement trajectory per batch key —
+#: Dörfler marking is invariant under RHS scaling, so every request in
+#: the batch shares the adapted mesh and scales the unit solution).
+PDE_KINDS = ("poisson", "sbm", "transport", "amr")
 
 _SHAPES = ("sphere", "box")
 
@@ -144,6 +147,9 @@ class SolveRequest:
     kappa: float = 0.01
     dt: float = 0.1
     steps: int = 1
+    # amr-only parameters (see repro.amr.loop.amr_solve)
+    amr_cycles: int = 4
+    amr_theta: float = 0.5
 
     def validate(self) -> None:
         if self.pde not in PDE_KINDS:
@@ -159,6 +165,16 @@ class SolveRequest:
             raise ValueError("deadline must be non-negative")
         if self.pde == "transport" and self.steps < 1:
             raise ValueError("transport needs steps >= 1")
+        if self.pde == "amr":
+            if self.g != 0.0:
+                raise ValueError(
+                    "amr requests require g == 0: the shared refinement "
+                    "trajectory relies on pure RHS scaling"
+                )
+            if self.amr_cycles < 0:
+                raise ValueError("amr_cycles must be non-negative")
+            if not (0.0 < self.amr_theta <= 1.0):
+                raise ValueError("amr_theta must be in (0, 1]")
 
     # -- canonical documents and digests --------------------------------
 
@@ -222,6 +238,9 @@ class SolveRequest:
             doc["kappa"] = self.kappa
             doc["dt"] = self.dt
             doc["steps"] = self.steps
+        elif self.pde == "amr":
+            doc["amr_cycles"] = self.amr_cycles
+            doc["amr_theta"] = float(self.amr_theta)
         return doc
 
     @property

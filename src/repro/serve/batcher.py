@@ -14,6 +14,10 @@ multi-RHS solve:
   (``splu``); a batch is one k-column triangular solve.
 * ``transport`` — the implicit-Euler SUPG matrix is factorized once;
   time stepping advances all k columns together.
+* ``amr`` — one estimator-driven refinement trajectory
+  (:func:`repro.amr.loop.amr_solve`, unit source) is cached per batch
+  key; every request shares the adapted mesh and scales the unit
+  solution by its amplitude ``f``.
 
 Per-request RHS columns are assembled from cached *unit* vectors
 (``b_unit`` for f=1, ``bs_unit``/``lift`` for g=1), so the per-request
@@ -226,6 +230,55 @@ class _TransportFactor:
         )
 
 
+class _AmrFactor:
+    """One cached adaptive-refinement trajectory per batch key.
+
+    The loop is driven with the *unit* source (f=1, g=0).  Dörfler and
+    maximum marking depend only on the relative indicator distribution,
+    and the estimator scales by f² under RHS scaling, so every request
+    in the batch follows the identical trajectory — the final adapted
+    mesh is shared and each request's solution is ``f · u_unit`` by
+    linearity (g = 0 is enforced at validation).
+    """
+
+    kind = "amr"
+
+    def __init__(self, request: SolveRequest):
+        from ..amr import amr_solve
+        from .api import build_domain
+
+        result = amr_solve(
+            build_domain(request.geometry),
+            f=1.0,
+            dirichlet=0.0,
+            p=request.p,
+            base_level=request.base_level,
+            boundary_level=request.boundary_level,
+            max_cycles=request.amr_cycles,
+            theta=request.amr_theta,
+            rtol=request.tol,
+            check_equivalence=False,
+        )
+        self.mesh = result.mesh
+        self.u_unit = result.u
+        self.cycles = len(result.history)
+        self.eta = result.total_eta
+        self.n_nodes = result.mesh.n_nodes
+        self.nbytes = (
+            self.u_unit.nbytes
+            + self.mesh.leaves.anchors.nbytes
+            + self.mesh.leaves.levels.nbytes
+        )
+
+    def solve(self, requests: list[SolveRequest]) -> BatchOutcome:
+        k = len(requests)
+        fs = np.array([r.f for r in requests])
+        U = self.u_unit[:, None] * fs[None, :]
+        return BatchOutcome(
+            U, [self.cycles] * k, [float(self.eta)] * k, ["converged"] * k, 0
+        )
+
+
 def ensure_factor(entry: CacheEntry, request: SolveRequest):
     """The entry's factor for this request's batch key, building (and
     byte-accounting) it on first use."""
@@ -240,6 +293,8 @@ def ensure_factor(entry: CacheEntry, request: SolveRequest):
             factor = _SbmFactor(entry.mesh)
         elif request.pde == "transport":
             factor = _TransportFactor(entry.mesh, request)
+        elif request.pde == "amr":
+            factor = _AmrFactor(request)
         else:  # pragma: no cover - validated at submit
             raise ValueError(f"unknown pde {request.pde!r}")
         osp.add("bytes", factor.nbytes)

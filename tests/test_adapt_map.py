@@ -1,0 +1,123 @@
+"""Old↔new leaf correspondence and solution transfer across adaptation.
+
+Covers the AMR-loop contracts: refine-then-coarsen restores the
+original mesh fingerprint, the :class:`repro.core.adapt.AdaptMap` is
+total and injective, and :func:`repro.core.interpolate.transfer_field`
+reproduces polynomials up to the element degree exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Domain
+from repro.core import balance_2to1, construct_adaptive, mesh_fingerprint
+from repro.core.adapt import coarsen_leaves, leaf_correspondence, refine_leaves
+from repro.core.interpolate import transfer_field
+from repro.core.mesh import mesh_from_leaves
+from repro.geometry import SphereCarve
+
+pytestmark = pytest.mark.amr
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return Domain(SphereCarve([0.5, 0.5], 0.27), dim=2, scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def leaves(domain):
+    return construct_adaptive(domain, 5, 7)
+
+
+def _refined(domain, leaves, seed=0, k=40):
+    rng = np.random.default_rng(seed)
+    marks = np.zeros(len(leaves), bool)
+    marks[rng.choice(len(leaves), k, replace=False)] = True
+    return balance_2to1(domain, refine_leaves(domain, leaves, marks))
+
+
+def test_correspondence_total_and_injective(domain, leaves):
+    new = _refined(domain, leaves)
+    amap = leaf_correspondence(leaves, new)
+    assert amap.is_total()
+    cnt = np.diff(amap.src_ptr)
+    # pure refinement: every new leaf has exactly one old source
+    assert (cnt == 1).all()
+    # injective in the refinement sense: each old leaf's derived set is
+    # non-empty and the sets partition the new leaves
+    ptr, rows = amap.old_to_new()
+    ocnt = np.diff(ptr)
+    assert (ocnt >= 1).all()
+    assert int(ocnt.sum()) == amap.n_new
+    assert len(np.unique(rows)) == amap.n_new  # disjoint images
+
+
+def test_correspondence_coarsen_groups(domain, leaves):
+    new = _refined(domain, leaves)
+    # coarsening back: parents list their sibling groups as sources
+    amap = leaf_correspondence(new, leaves)
+    assert amap.is_total()
+    cnt = np.diff(amap.src_ptr)
+    assert cnt.max() > 1  # some leaf aggregates a refined group
+    ss = amap.single_source()
+    assert (ss[cnt == 1] >= 0).all()
+    assert (ss[cnt > 1] == -1).all()
+
+
+def test_refine_then_coarsen_restores_fingerprint(domain, leaves):
+    mesh0 = mesh_from_leaves(domain, leaves, p=1, balance=False)
+    fp0 = mesh_fingerprint(mesh0)
+    current = _refined(domain, leaves, seed=1)
+    assert mesh_fingerprint(
+        mesh_from_leaves(domain, current, p=1, balance=False)
+    ) != fp0
+    # iterate coarsening guided by the correspondence: any leaf finer
+    # than its original source is marked (one level merges per pass;
+    # the balance ripple needs a few passes to unwind)
+    for _ in range(10):
+        amap = leaf_correspondence(leaves, current)
+        ss = amap.single_source()
+        src_lev = np.full(amap.n_new, -1)
+        has = ss >= 0
+        src_lev[has] = leaves.levels[ss[has]]
+        marks = current.levels > src_lev
+        if not marks.any():
+            break
+        nxt = coarsen_leaves(domain, current, marks)
+        if len(nxt) == len(current) and np.array_equal(
+            nxt.anchors, current.anchors
+        ):
+            break
+        current = nxt
+    mesh1 = mesh_from_leaves(domain, current, p=1, balance=False)
+    assert mesh_fingerprint(mesh1) == fp0
+
+
+@pytest.mark.parametrize("p", [1, 2])
+def test_transfer_exact_for_polynomials(domain, leaves, p):
+    """Refinement transfer reproduces degree-p polynomials exactly."""
+    src = mesh_from_leaves(domain, leaves, p=p, balance=False)
+    new = _refined(domain, leaves, seed=2)
+    dst = mesh_from_leaves(domain, new, p=p)
+
+    def poly(pts):
+        x, y = pts[:, 0], pts[:, 1]
+        if p == 1:
+            return 1.0 + 2.0 * x - 3.0 * y + 0.5 * x * y
+        return 1.0 + x - y + x * y + 0.25 * x**2 - 0.5 * y**2 + x**2 * y**2
+
+    u_src = poly(src.node_coords())
+    u_dst = transfer_field(src, dst, u_src)
+    assert np.allclose(u_dst, poly(dst.node_coords()), atol=1e-12)
+
+
+def test_transfer_total_after_coarsening(domain, leaves):
+    # coarsening shifts nodes; the transfer must still cover every
+    # destination node (kNN fallback for nodes off the source mesh)
+    fine = _refined(domain, leaves, seed=3)
+    src = mesh_from_leaves(domain, fine, p=1, balance=False)
+    dst = mesh_from_leaves(domain, leaves, p=1, balance=False)
+    u = np.sin(src.node_coords().sum(axis=1))
+    out = transfer_field(src, dst, u)
+    assert out.shape == (dst.n_nodes,)
+    assert np.isfinite(out).all()

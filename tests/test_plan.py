@@ -98,6 +98,24 @@ def test_stale_context_not_reused_after_leaf_swap():
     assert np.allclose(MapBasedMatVec(mesh)(u), assemble(mesh) @ u, atol=1e-12)
 
 
+def test_stale_context_detected_on_nodes_swap_same_fingerprint():
+    # regression: an in-place mutation that swaps in *identical content*
+    # (same fingerprint) but a different nodes object must still rebuild
+    # the context — its cached gather/traversal reference the old arrays
+    dom = Domain(SphereCarve([0.5, 0.5], 0.3))
+    mesh = build_mesh(dom, 2, 4, p=1)
+    ctx0 = operator_context(mesh)
+    rebuilt = mesh_from_leaves(dom, mesh.leaves, p=1, balance=False)
+    assert mesh_fingerprint(rebuilt) == ctx0.fingerprint
+    mesh.nodes = rebuilt.nodes  # same content, different identity
+    ctx1 = operator_context(mesh)
+    assert ctx1 is not ctx0
+    assert ctx1.fingerprint == ctx0.fingerprint
+    assert ctx1.nodes is mesh.nodes
+    u = np.linspace(0, 1, mesh.n_nodes)
+    assert np.allclose(MapBasedMatVec(mesh)(u), assemble(mesh) @ u, atol=1e-12)
+
+
 # -- operator equivalence through the context ---------------------------
 
 

@@ -1,0 +1,175 @@
+"""Incremental operator-plan deltas (repro.core.plan_delta).
+
+The contract under test: for any refine/coarsen step,
+``update_mesh(old_mesh, new_leaves)`` produces a mesh whose node
+enumeration, gather CSR, flags, labels — and therefore every operator
+built from them — are **bit-identical** to a from-scratch rebuild,
+whether the incremental path ran or the churn-limit fallback fired.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Domain
+from repro.core import balance_2to1, construct_adaptive
+from repro.core.adapt import coarsen_leaves, refine_leaves
+from repro.core.mesh import mesh_from_leaves
+from repro.core.plan import diff_leaves
+from repro.core.plan_delta import assert_plan_equivalent, update_mesh
+from repro.geometry import SphereCarve
+from repro.parallel import analyze_partition, update_exchange_plan
+from repro.parallel.ghost import ExchangePlan, exchange_plan
+
+pytestmark = pytest.mark.amr
+
+
+def _mesh_2d(p=1, base=5, boundary=7):
+    dom = Domain(SphereCarve([0.5, 0.5], 0.27), dim=2, scale=1.0)
+    return mesh_from_leaves(dom, construct_adaptive(dom, base, boundary), p=p)
+
+
+def _mesh_3d():
+    dom = Domain(SphereCarve([0.5, 0.5, 0.5], 0.3))
+    return mesh_from_leaves(dom, construct_adaptive(dom, 3, 5), p=1)
+
+
+def _window_refine(mesh, start_frac, frac):
+    n = mesh.n_elem
+    marks = np.zeros(n, bool)
+    k = max(int(n * frac), 1)
+    s = int(n * start_frac)
+    marks[s : s + k] = True
+    return balance_2to1(
+        mesh.domain, refine_leaves(mesh.domain, mesh.leaves, marks)
+    )
+
+
+def _reference(mesh, new_leaves):
+    return mesh_from_leaves(
+        mesh.domain, new_leaves, p=mesh.p, curve=mesh.curve, balance=False
+    )
+
+
+@pytest.mark.parametrize("start", [0.0, 0.33, 0.7])
+@pytest.mark.parametrize("p", [1, 2])
+def test_incremental_refine_bit_identical_2d(p, start):
+    mesh = _mesh_2d(p=p)
+    new_leaves = _window_refine(mesh, start, 0.01)
+    new_mesh, delta = update_mesh(mesh, new_leaves, churn_limit=1.0)
+    assert new_mesh._plan_update.incremental, f"churn {delta.churn:.3f}"
+    assert_plan_equivalent(new_mesh, _reference(mesh, new_leaves))
+
+
+def test_incremental_refine_bit_identical_3d():
+    mesh = _mesh_3d()
+    new_leaves = _window_refine(mesh, 0.0, 0.01)
+    new_mesh, delta = update_mesh(mesh, new_leaves, churn_limit=1.0)
+    assert new_mesh._plan_update.incremental
+    assert_plan_equivalent(new_mesh, _reference(mesh, new_leaves))
+
+
+def test_incremental_coarsen_bit_identical():
+    mesh = _mesh_2d()
+    n = mesh.n_elem
+    marks = np.zeros(n, bool)
+    marks[n // 2 : n // 2 + n // 20] = True
+    new_leaves = balance_2to1(
+        mesh.domain, coarsen_leaves(mesh.domain, mesh.leaves, marks)
+    )
+    new_mesh, delta = update_mesh(mesh, new_leaves, churn_limit=1.0)
+    assert_plan_equivalent(new_mesh, _reference(mesh, new_leaves))
+
+
+def test_identical_leaves_share_nodes():
+    mesh = _mesh_2d()
+    new_mesh, delta = update_mesh(mesh, mesh.leaves)
+    assert delta.identical
+    assert new_mesh.nodes is mesh.nodes
+    rep = new_mesh._plan_update
+    assert rep.incremental
+    assert np.array_equal(rep.gid_map, np.arange(mesh.n_nodes))
+
+
+def test_churn_limit_falls_back_to_full_rebuild():
+    mesh = _mesh_2d()
+    # scattered marks: the single prefix/suffix window covers nearly
+    # everything, churn blows past the limit, and the fallback fires
+    rng = np.random.default_rng(0)
+    marks = np.zeros(mesh.n_elem, bool)
+    marks[rng.choice(mesh.n_elem, mesh.n_elem // 10, replace=False)] = True
+    new_leaves = balance_2to1(
+        mesh.domain, refine_leaves(mesh.domain, mesh.leaves, marks)
+    )
+    new_mesh, delta = update_mesh(mesh, new_leaves, churn_limit=0.3)
+    assert not new_mesh._plan_update.incremental
+    assert_plan_equivalent(new_mesh, _reference(mesh, new_leaves))
+
+
+def test_incremental_matvec_bit_identical():
+    from repro.core.matvec import MapBasedMatVec
+
+    mesh = _mesh_2d()
+    new_leaves = _window_refine(mesh, 0.4, 0.02)
+    new_mesh, _ = update_mesh(mesh, new_leaves, churn_limit=1.0)
+    ref = _reference(mesh, new_leaves)
+    x = np.sin(np.arange(new_mesh.n_nodes, dtype=float))
+    y_inc = MapBasedMatVec(new_mesh, kind="stiffness")(x)
+    y_ref = MapBasedMatVec(ref, kind="stiffness")(x)
+    assert np.array_equal(y_inc, y_ref)  # bit-identical, not just close
+
+
+def test_diff_leaves_windows():
+    mesh = _mesh_2d()
+    new_leaves = _window_refine(mesh, 0.5, 0.01)
+    delta = diff_leaves(mesh.leaves, new_leaves, mesh.curve)
+    assert delta.prefix > 0 and delta.suffix > 0
+    assert 0.0 < delta.churn < 0.5
+    # the unchanged windows really are unchanged
+    a_old, a_new = mesh.leaves.anchors, new_leaves.anchors
+    assert np.array_equal(a_old[: delta.prefix], a_new[: delta.prefix])
+    assert np.array_equal(
+        a_old[len(a_old) - delta.suffix :], a_new[len(a_new) - delta.suffix :]
+    )
+
+
+def test_update_exchange_plan_matches_fresh_build():
+    mesh = _mesh_2d(base=6, boundary=8)
+    splits = np.linspace(0, mesh.n_elem, 9).astype(np.int64)
+    layout = analyze_partition(mesh, splits)
+    plan0 = exchange_plan(mesh, layout)
+    new_leaves = _window_refine(mesh, 0.33, 0.015)
+    new_mesh, _ = update_mesh(mesh, new_leaves, churn_limit=1.0)
+    assert new_mesh._plan_update.incremental
+    splits2 = splits.copy()
+    splits2[-1] = new_mesh.n_elem
+    layout2 = analyze_partition(new_mesh, splits2)
+    plan_up = update_exchange_plan(new_mesh, layout2, plan0)
+    plan_fresh = ExchangePlan(new_mesh, layout2)
+    assert plan_up.reused_ranks > 0, "no rank operator was reused"
+    for r in range(layout2.nranks):
+        a, b = plan_up.g_loc[r], plan_fresh.g_loc[r]
+        if a is None:
+            assert b is None
+            continue
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(plan_up.mine[r], plan_fresh.mine[r])
+        assert np.array_equal(plan_up.owned_ids[r], plan_fresh.owned_ids[r])
+    assert set(plan_up.send_ids) == set(plan_fresh.send_ids)
+    for key in plan_up.send_ids:
+        assert np.array_equal(plan_up.send_ids[key], plan_fresh.send_ids[key])
+        assert np.array_equal(
+            plan_up.ghost_pos[key], plan_fresh.ghost_pos[key]
+        )
+
+
+def test_update_exchange_plan_fallback_without_report():
+    mesh = _mesh_2d()
+    splits = np.linspace(0, mesh.n_elem, 5).astype(np.int64)
+    layout = analyze_partition(mesh, splits)
+    plan0 = exchange_plan(mesh, layout)
+    # a mesh built from scratch carries no PlanUpdateReport: the update
+    # degrades to the plain cached build
+    plan = update_exchange_plan(mesh, layout, plan0)
+    assert plan is plan0  # cached per layout + fingerprint
