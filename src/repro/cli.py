@@ -309,10 +309,16 @@ def cmd_serve_demo(args) -> None:
 
     from .serve import SolverService, demo_workload
 
+    recorder = None
+    if args.events:
+        from .obs.events import EventLog
+
+        recorder = EventLog()
     svc = SolverService(
         cache_bytes=args.cache_mb << 20,
         max_pending=args.max_pending,
         max_batch=args.max_batch,
+        recorder=recorder,
     )
     reqs = demo_workload(args.requests, seed=args.seed,
                          base_level=args.base_level,
@@ -338,6 +344,12 @@ def cmd_serve_demo(args) -> None:
         ),
         f"stream digest: {st['stream_digest']}",
     ]
+    if recorder is not None:
+        from .obs.events import save_events
+
+        save_events(args.events, recorder, name="serve-demo")
+        lines.append(f"events: {len(recorder)} written to {args.events}")
+        lines.append(f"event digest: {recorder.digest}")
     if args.json:
         doc = {
             "schema": "repro.serve/demo.v1",
@@ -465,13 +477,18 @@ def cmd_fleet_demo(args) -> None:
         if not sid:
             raise SystemExit("--kill wants TICK:SHARD_ID, e.g. 2000:shard1")
         kill = (int(tick), sid)
+    recorder = None
+    if args.events:
+        from .obs.events import EventLog
+
+        recorder = EventLog()
     fleet = FleetService(
         args.shards, cache_bytes=args.cache_mb << 20,
         max_batch=args.max_batch, max_pending=args.max_pending,
         steal_threshold=args.steal_threshold,
         steal_latency=args.steal_latency,
         stealing=not args.no_steal, ckpt_dir=args.ckpt_dir,
-        ckpt_interval=args.ckpt_interval,
+        ckpt_interval=args.ckpt_interval, recorder=recorder,
     )
     fleet.run(
         synthetic_workload(args.requests, seed=args.seed,
@@ -503,6 +520,12 @@ def cmd_fleet_demo(args) -> None:
         f"stream digest: {st['stream_digest']}",
         f"fleet digest:  {st['fleet_digest']}",
     ]
+    if recorder is not None:
+        from .obs.events import save_events
+
+        save_events(args.events, recorder, name="fleet-demo")
+        lines.append(f"events: {len(recorder)} written to {args.events}")
+        lines.append(f"event digest: {recorder.digest}")
     if args.json:
         doc = {
             "schema": "repro.fleet/demo.v1",
@@ -592,17 +615,82 @@ def cmd_trace_report(args) -> None:
 
 
 def cmd_trace_diff(args) -> None:
-    from .obs.regress import diff_artifacts, render_diff
+    import json
+
+    from .obs.regress import diff_artifacts, diff_doc, render_diff
     from .obs.report import load_artifact
 
     deltas = diff_artifacts(
         load_artifact(args.base), load_artifact(args.new), tol=args.tol
     )
     print(render_diff(deltas, args.tol))
-    if any(
-        d.status in ("slower", "added", "removed") or d.counter_deltas
-        for d in deltas
-    ):
+    doc = diff_doc(deltas, args.tol)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+        print(f"json diff written to {args.json}")
+    if doc["flagged"]:
+        raise SystemExit(1)
+
+
+def cmd_request_trace(args) -> None:
+    """Reconstruct the causal timeline of one request from an event
+    stream (``--events`` export of serve-demo / fleet-demo)."""
+    from .obs.events import load_events
+    from .obs.reqtrace import reconstruct, render_timeline, timelines
+
+    log = load_events(args.events)
+    if args.list or not args.rid:
+        lines = [
+            f"{tl.rid} {tl.status:<8} pde={tl.pde:<9} "
+            f"latency={tl.latency} shards={','.join(tl.shards) or '-'}"
+            for tl in timelines(log)
+        ]
+        if not lines:
+            raise SystemExit(f"{args.events}: no completed requests")
+        _emit(lines, args.out)
+        return
+    try:
+        tl = reconstruct(log, args.rid)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    _emit(render_timeline(tl).splitlines(), args.out)
+
+
+def cmd_fleet_health(args) -> None:
+    """Evaluate SLOs over an event stream into a fleet health report."""
+    import json
+
+    from .obs.events import load_events
+    from .obs.reqtrace import events_to_chrome
+    from .obs.slo import SLOPolicy, fleet_health, render_health
+
+    log = load_events(args.events)
+    stage_p95 = {}
+    for spec in args.stage_p95 or []:
+        stage, _, ceiling = spec.partition("=")
+        if not ceiling:
+            raise SystemExit("--stage-p95 wants STAGE=TICKS, e.g. queue=4000")
+        stage_p95[stage] = int(ceiling)
+    policy = SLOPolicy(
+        availability_objective=args.availability,
+        deadline_objective=args.deadline_objective,
+        default_deadline=args.default_deadline,
+        stage_p95=stage_p95,
+        window=args.window,
+        burn_alert=args.burn_alert,
+    )
+    doc = fleet_health(log, policy, name=str(args.events))
+    _emit(render_health(doc).splitlines(), args.out)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+        print(f"health snapshot written to {args.json}")
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(events_to_chrome(log), fh)
+        print(f"chrome trace written to {args.chrome}")
+    if args.strict and not doc["healthy"]:
         raise SystemExit(1)
 
 
@@ -682,6 +770,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="artifact-cache byte budget in MiB")
     s.add_argument("--json", default=None,
                    help="write a repro.serve/demo.v1 JSON report here")
+    s.add_argument("--events", default=None,
+                   help="record the flight-recorder event stream "
+                        "(repro.obs/events.v1) to this path")
     s.add_argument("--out", default=None)
     s.add_argument("--trace-out", default=None,
                    help="run-artifact path (default trace_<command>.json)")
@@ -737,6 +828,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--ckpt-interval", type=int, default=6)
     s.add_argument("--json", default=None,
                    help="write a repro.fleet/demo.v1 JSON report here")
+    s.add_argument("--events", default=None,
+                   help="record the flight-recorder event stream "
+                        "(repro.obs/events.v1) to this path")
     s.add_argument("--out", default=None)
     s.add_argument("--trace-out", default=None,
                    help="run-artifact path (default trace_<command>.json)")
@@ -760,7 +854,51 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("new")
     s.add_argument("--tol", type=float, default=0.25,
                    help="relative slowdown tolerance (default 0.25)")
+    s.add_argument("--json", default=None,
+                   help="also write a machine-readable "
+                        "repro.obs/trace_diff.v1 document here")
     s.set_defaults(func=cmd_trace_diff, trace_name=None)
+
+    s = sub.add_parser(
+        "request-trace",
+        help="reconstruct one request's causal timeline from an "
+             "event stream (--events export)",
+    )
+    s.add_argument("events", help="repro.obs/events.v1 stream path")
+    s.add_argument("rid", nargs="?", default=None,
+                   help="request id (unique prefix accepted); omit to list")
+    s.add_argument("--list", action="store_true",
+                   help="list completed requests, one scriptable row each")
+    s.add_argument("--out", default=None)
+    s.set_defaults(func=cmd_request_trace, trace_name=None)
+
+    s = sub.add_parser(
+        "fleet-health",
+        help="deterministic SLO evaluation over an event stream",
+    )
+    s.add_argument("events", help="repro.obs/events.v1 stream path")
+    s.add_argument("--availability", type=float, default=0.95,
+                   help="availability objective (default 0.95)")
+    s.add_argument("--deadline-objective", type=float, default=0.95,
+                   help="deadline-hit-rate objective (default 0.95)")
+    s.add_argument("--default-deadline", type=int, default=None,
+                   help="deadline (ticks) applied to requests carrying none")
+    s.add_argument("--stage-p95", action="append", metavar="STAGE=TICKS",
+                   help="per-stage p95 ceiling, e.g. --stage-p95 queue=4000 "
+                        "(repeatable)")
+    s.add_argument("--window", type=int, default=5000,
+                   help="burn-rate window width in virtual ticks")
+    s.add_argument("--burn-alert", type=float, default=2.0,
+                   help="alert when a window burns this multiple of budget")
+    s.add_argument("--json", default=None,
+                   help="write the repro.obs/health.v1 snapshot here")
+    s.add_argument("--chrome", default=None,
+                   help="write a per-shard-track Chrome trace of the "
+                        "event stream here")
+    s.add_argument("--strict", action="store_true",
+                   help="exit 1 when the fleet is not healthy")
+    s.add_argument("--out", default=None)
+    s.set_defaults(func=cmd_fleet_health, trace_name=None)
     return p
 
 

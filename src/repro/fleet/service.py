@@ -103,17 +103,45 @@ class FleetShard(SolverService):
         self.cache.on_evict = l2.publish_entry
         self.l2_fetches = 0
 
-    def _resolve_entry(self, request: SolveRequest):
+    def _resolve_entry(self, request: SolveRequest, bid: str = ""):
         entry = self.cache.lookup(request.mesh_digest)
         if entry is not None:
+            if self.recorder is not None:
+                self.recorder.emit(
+                    "cache_hit", request.digest, tick=self.clock.now,
+                    shard=self.name, tier="l1", bid=bid, ticks=0,
+                )
             return entry, True
+        if self.recorder is not None:
+            self.recorder.emit(
+                "cache_miss", request.digest, tick=self.clock.now,
+                shard=self.name, tier="l1", bid=bid,
+            )
         fetched = self.l2.fetch(request.mesh_digest)
         if fetched is not None:
-            self.clock.advance(self.l2.fetch_cost(fetched))
+            ticks = self.l2.fetch_cost(fetched)
+            self.clock.advance(ticks)
             self.l2_fetches += 1
+            if self.recorder is not None:
+                self.recorder.emit(
+                    "cache_hit", request.digest, tick=self.clock.now,
+                    shard=self.name, tier="l2", bid=bid, ticks=ticks,
+                )
             return self.cache.insert(request.mesh_digest, fetched), True
+        if self.recorder is not None:
+            self.recorder.emit(
+                "cache_miss", request.digest, tick=self.clock.now,
+                shard=self.name, tier="l2", bid=bid,
+            )
         entry = build_entry(request)
-        self.clock.advance(cost_build(entry.mesh.n_elem))
+        ticks = cost_build(entry.mesh.n_elem)
+        self.clock.advance(ticks)
+        if self.recorder is not None:
+            self.recorder.emit(
+                "build", request.digest, tick=self.clock.now,
+                shard=self.name, bid=bid, ticks=ticks,
+                n_elem=entry.mesh.n_elem,
+            )
         entry = self.cache.insert(request.mesh_digest, entry)
         self.l2.publish(request.mesh_digest, entry)
         return entry, False
@@ -139,16 +167,21 @@ class FleetService:
                  max_batch: int = 8, steal_threshold: int = 6,
                  steal_latency: int = 200, steal_max: int | None = None,
                  stealing: bool = True, ckpt_dir=None, ckpt_interval: int = 8,
-                 l2_promote_after: int = 4, l2_window: int = 32):
+                 l2_promote_after: int = 4, l2_window: int = 32,
+                 recorder=None):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         self.shard_ids = [f"shard{i}" for i in range(int(n_shards))]
         self.l2 = TierCache(l2_bytes, promote_after=l2_promote_after,
                             window=l2_window)
         self.ring = HashRing(self.shard_ids)
+        #: optional flight recorder shared by the fleet loop and every
+        #: shard — one :class:`repro.obs.EventLog` receives the entire
+        #: causal history of the run (route → shard → batch → response)
+        self.recorder = recorder
         self._shard_kwargs = dict(
             cache_bytes=cache_bytes, max_pending=max_pending,
-            max_batch=max_batch,
+            max_batch=max_batch, recorder=recorder,
         )
         self.steal_threshold = int(steal_threshold)
         self.steal_latency = int(steal_latency)
@@ -248,7 +281,10 @@ class FleetService:
         """Route one arrival to its ring owner.  Jumping the target's
         clock to the arrival tick is safe: the loop never delivers an
         arrival while any shard has strictly earlier executable work."""
-        sid = self.ring.route(arrival.request.mesh_digest)
+        sid = self.ring.route(
+            arrival.request.mesh_digest, recorder=self.recorder,
+            tick=arrival.tick, rid=arrival.request.digest,
+        )
         shard = self.shards[sid]
         shard.clock.jump_to(arrival.tick)
         self.logs[sid].record_arrival(arrival.tick, arrival.request)
@@ -265,7 +301,8 @@ class FleetService:
             for sid, sh in self.shards.items()
         }
         for plan in plan_steals(depths, threshold=self.steal_threshold,
-                                capacity=capacity, max_items=self.steal_max):
+                                capacity=capacity, max_items=self.steal_max,
+                                recorder=self.recorder, tick=self.now):
             src, dst = self.shards[plan.src], self.shards[plan.dst]
             items = src.scheduler.steal_items(plan.n, src.clock.now)
             if not items:
@@ -275,6 +312,11 @@ class FleetService:
                 self.logs[plan.src].stolen_away.append(it.digest)
                 self.logs[plan.dst].record_arrival(
                     it.t_submit, it.request, it.retries)
+                if self.recorder is not None:
+                    self.recorder.emit(
+                        "steal", it.digest, tick=self.now, shard=plan.dst,
+                        src=plan.src, not_before=self.now + self.steal_latency,
+                    )
                 dst.scheduler.adopt(
                     it.request, dst.clock, t_submit=it.t_submit,
                     retries=it.retries,
@@ -302,7 +344,14 @@ class FleetService:
             raise ValueError(f"cannot kill unknown shard {sid!r}")
         ckpt = self.checkpointers[sid]
         state = ckpt.latest_state()
-        replay = rebuild_queue(state, self.logs[sid])
+        if self.recorder is not None:
+            self.recorder.emit(
+                "failover", tick=self.now, shard=sid,
+                ckpt_step=ckpt.step if state is not None else None,
+            )
+        replay = rebuild_queue(state, self.logs[sid],
+                               recorder=self.recorder, tick=self.now,
+                               shard=sid)
         replacement = self._make_shard(sid)
         replacement.clock.jump_to(self.now)
         if state is not None:

@@ -56,7 +56,8 @@ class StealEvent:
 
 def plan_steals(depths: dict[str, int], *, threshold: int,
                 capacity: dict[str, int] | None = None,
-                max_items: int | None = None) -> list[StealPlan]:
+                max_items: int | None = None,
+                recorder=None, tick: int = 0) -> list[StealPlan]:
     """Plan migrations for the current fleet queue depths.
 
     ``depths`` maps shard id → pending count for *alive* shards.
@@ -64,6 +65,10 @@ def plan_steals(depths: dict[str, int], *, threshold: int,
     ``depth == 0``.  Each plan moves ``min(depth // 2, max_items,
     capacity[dst])`` items; depths are updated between pairings so one
     deep victim can feed several idle shards deterministically.
+
+    With a flight recorder attached, each victim/thief pairing is
+    logged as a ``steal_plan`` event (the per-item migrations become
+    ``steal`` events at execution time in the fleet loop).
     """
     if threshold < 1:
         raise ValueError("threshold must be >= 1")
@@ -84,6 +89,8 @@ def plan_steals(depths: dict[str, int], *, threshold: int,
         if n < 1:
             continue
         plans.append(StealPlan(src=src, dst=dst, n=n))
+        if recorder is not None:
+            recorder.emit("steal_plan", tick=tick, shard=src, dst=dst, n=n)
         work[src] -= n
         work[dst] += n
         if free is not None:

@@ -9,7 +9,13 @@ The observability subsystem every layer of the stack reports into:
   publish here);
 * :mod:`repro.obs.report` — JSON run artifacts (span tree + flat
   metrics dump), text reports and Chrome-trace timelines;
-* :mod:`repro.obs.regress` — per-span deltas between two artifacts.
+* :mod:`repro.obs.regress` — per-span deltas between two artifacts;
+* :mod:`repro.obs.events` — the request-scoped flight recorder: a
+  typed, digest-chained event log on the virtual clock;
+* :mod:`repro.obs.reqtrace` — per-request timeline reconstruction and
+  exact stage attribution from a flight-recorder stream;
+* :mod:`repro.obs.slo` — deterministic SLO evaluation and fleet
+  health snapshots.
 
 Off by default; enable with the ``REPRO_TRACE=1`` environment variable
 or :func:`enable`.  Disabled-mode calls cost one attribute check, so
@@ -27,11 +33,22 @@ from .counters import (
     REGISTRY,
     Histogram,
     add,
+    get_counter,
+    get_gauge,
     get_histogram,
     get_value,
     observe,
     set_gauge,
     snapshot,
+)
+from .events import (
+    EVENT_KINDS,
+    EVENTS_SCHEMA_ID,
+    Event,
+    EventLog,
+    EventStreamCorruption,
+    load_events,
+    save_events,
 )
 from .trace import TRACER, current_span, is_enabled, record, set_enabled, span
 
@@ -43,9 +60,18 @@ __all__ = [
     "set_gauge",
     "observe",
     "get_value",
+    "get_counter",
+    "get_gauge",
     "get_histogram",
     "Histogram",
     "snapshot",
+    "Event",
+    "EventLog",
+    "EventStreamCorruption",
+    "EVENT_KINDS",
+    "EVENTS_SCHEMA_ID",
+    "save_events",
+    "load_events",
     "enable",
     "disable",
     "set_enabled",

@@ -28,6 +28,8 @@ __all__ = [
     "set_gauge",
     "observe",
     "get_value",
+    "get_counter",
+    "get_gauge",
     "get_histogram",
     "snapshot",
 ]
@@ -83,17 +85,35 @@ class Histogram:
         return self.max
 
     def summary(self) -> dict:
-        """JSON-ready digest: count/sum/min/max + p50/p95/p99."""
+        """JSON-ready digest: count/sum/min/max + p50/p95/p99.
+
+        All three quantiles are read off a single cumulative pass over
+        the bucket array (``quantile()`` would rescan it per call).
+        """
         if self.count == 0:
             return {"count": 0, "sum": 0.0}
+        ranks = {
+            q: max(1, int(q * self.count + 0.5)) for q in (0.50, 0.95, 0.99)
+        }
+        quantiles: dict[float, float] = {}
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            for q, rank in ranks.items():
+                if q not in quantiles and cum >= rank:
+                    quantiles[q] = (
+                        BUCKET_EDGES[i] if i < len(BUCKET_EDGES) else self.max
+                    )
+            if len(quantiles) == len(ranks):
+                break
         return {
             "count": self.count,
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
+            "p50": quantiles.get(0.50, self.max),
+            "p95": quantiles.get(0.95, self.max),
+            "p99": quantiles.get(0.99, self.max),
         }
 
 
@@ -153,11 +173,35 @@ class CounterRegistry:
             h = self._hists.get(key)
             return h.summary() if h is not None else None
 
-    def get_value(self, name: str, **labels):
-        """Read back a counter (or gauge) value; None if never published."""
+    def get_counter(self, name: str, **labels):
+        """Read back a counter value; None if never published."""
         key = (name, tuple(sorted(labels.items())))
         with self._lock:
-            if key in self._counters:
+            return self._counters.get(key)
+
+    def get_gauge(self, name: str, **labels):
+        """Read back a gauge value; None if never published."""
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            return self._gauges.get(key)
+
+    def get_value(self, name: str, **labels):
+        """Read back a counter or gauge value; None if never published.
+
+        A name published as *both* a counter and a gauge is ambiguous —
+        silently preferring one would mask the collision — so that case
+        raises; disambiguate with :meth:`get_counter` / :meth:`get_gauge`.
+        """
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            in_counters = key in self._counters
+            in_gauges = key in self._gauges
+            if in_counters and in_gauges:
+                raise KeyError(
+                    f"metric {_render(name, key[1])!r} exists as both a "
+                    "counter and a gauge; use get_counter()/get_gauge()"
+                )
+            if in_counters:
                 return self._counters[key]
             return self._gauges.get(key)
 
@@ -198,5 +242,7 @@ add = REGISTRY.add
 set_gauge = REGISTRY.set_gauge
 observe = REGISTRY.observe
 get_value = REGISTRY.get_value
+get_counter = REGISTRY.get_counter
+get_gauge = REGISTRY.get_gauge
 get_histogram = REGISTRY.get_histogram
 snapshot = REGISTRY.snapshot

@@ -15,7 +15,16 @@ from dataclasses import dataclass, field
 
 from .report import load_artifact
 
-__all__ = ["SpanDelta", "flatten_spans", "diff_artifacts", "render_diff"]
+__all__ = [
+    "DIFF_SCHEMA_ID",
+    "SpanDelta",
+    "flatten_spans",
+    "diff_artifacts",
+    "render_diff",
+    "diff_doc",
+]
+
+DIFF_SCHEMA_ID = "repro.obs/trace_diff.v1"
 
 #: spans shorter than this (seconds, both sides) are never flagged —
 #: sub-millisecond timings are clock noise at this scale
@@ -37,6 +46,19 @@ class SpanDelta:
         if self.t_base is None or self.t_new is None or self.t_base == 0:
             return None
         return (self.t_new - self.t_base) / self.t_base
+
+    def to_doc(self) -> dict:
+        """JSON-ready document of this delta (``trace-diff --json``)."""
+        return {
+            "path": self.path,
+            "t_base": self.t_base,
+            "t_new": self.t_new,
+            "rel": self.rel,
+            "status": self.status,
+            "counter_deltas": {
+                k: [va, vb] for k, (va, vb) in self.counter_deltas.items()
+            },
+        }
 
 
 def flatten_spans(doc: dict) -> dict[str, dict]:
@@ -89,6 +111,25 @@ def diff_artifacts(base, new, tol: float = 0.25) -> list[SpanDelta]:
         }
         deltas.append(SpanDelta(path, ta, tb, status, dict(sorted(cdel.items()))))
     return deltas
+
+
+def diff_doc(deltas: list[SpanDelta], tol: float = 0.25) -> dict:
+    """Machine-readable ``repro.obs/trace_diff.v1`` document.
+
+    Mirrors the text table exactly: ``flagged`` is true iff the CLI
+    would exit non-zero (any slower/added/removed span or counter
+    drift).
+    """
+    return {
+        "schema": DIFF_SCHEMA_ID,
+        "tol": tol,
+        "min_time": MIN_TIME,
+        "deltas": [d.to_doc() for d in deltas],
+        "flagged": any(
+            d.status in ("slower", "added", "removed") or d.counter_deltas
+            for d in deltas
+        ),
+    }
 
 
 def render_diff(deltas: list[SpanDelta], tol: float = 0.25) -> str:

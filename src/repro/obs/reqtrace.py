@@ -1,0 +1,304 @@
+"""Per-request timeline reconstruction and stage attribution.
+
+Given a flight-recorder stream (:mod:`repro.obs.events`), rebuild the
+full causal timeline of any request — router → shard → scheduler →
+batch → solve/cache → response — and attribute its end-to-end virtual
+latency to serving stages:
+
+``admission``
+    submission to scheduler enqueue (non-zero when the owning shard's
+    clock was already past the arrival tick — the shard was busy).
+``queue``
+    enqueue to the (final) batch formation — dispatch-order wait,
+    retry backoff and steal migration all land here.
+``batch``
+    batch formation to solve start, *minus* the explicitly accounted
+    build/cache/factor ticks — the residual batch-assembly wait.
+``build`` / ``cache`` / ``factor``
+    cold mesh+operator construction, second-tier transfer, and
+    batch-key factorization ticks paid by the request's batch.
+``solve``
+    block-solve execution ticks.
+
+The decomposition is exact by construction: the stage durations of a
+request **sum to its end-to-end virtual latency** (asserted by the
+tests for every request of every workload, retries and steals
+included).  Batch-scoped events (cache/build/factor/solve_exec) carry
+a ``bid`` attr and are joined into each member's timeline through the
+member's own ``batch_form`` event.
+
+Everything here is pure event-stream arithmetic on integer ticks —
+reconstruction of the same stream is bit-deterministic, which is what
+lets the fail-over tests compare recovered timelines for equality via
+:func:`timeline_doc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .counters import Histogram
+from .events import Event, EventLog
+
+__all__ = [
+    "STAGES",
+    "RequestTimeline",
+    "reconstruct",
+    "resolve_rid",
+    "timelines",
+    "stage_histograms",
+    "timeline_doc",
+    "render_timeline",
+    "events_to_chrome",
+]
+
+#: Serving stages, in pipeline order.  Per completed request the stage
+#: durations sum exactly to ``t_done - t_submit`` on the virtual clock.
+STAGES = ("admission", "queue", "batch", "build", "cache", "factor", "solve")
+
+#: Batch-scoped event kinds joined into member timelines via ``bid``.
+_BATCH_KINDS = frozenset(
+    {"cache_hit", "cache_miss", "build", "factor", "solve_exec"}
+)
+
+
+@dataclass
+class RequestTimeline:
+    """The reconstructed causal history of one request."""
+
+    rid: str
+    status: str
+    reason: str
+    pde: str
+    t_submit: int
+    t_done: int
+    deadline: int | None
+    retries: int
+    stages: dict[str, int]
+    shards: list[str] = field(default_factory=list)
+    events: list[Event] = field(default_factory=list)
+
+    @property
+    def latency(self) -> int:
+        return self.t_done - self.t_submit
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def resolve_rid(log: EventLog, prefix: str) -> str:
+    """Resolve a (possibly abbreviated) request id against the log."""
+    rids = log.request_ids()
+    if prefix in rids:
+        return prefix
+    matches = [r for r in rids if r.startswith(prefix)]
+    if not matches:
+        raise KeyError(f"no request matching {prefix!r} in the event stream")
+    if len(matches) > 1:
+        raise KeyError(
+            f"request id prefix {prefix!r} is ambiguous "
+            f"({len(matches)} matches)"
+        )
+    return matches[0]
+
+
+def reconstruct(log: EventLog, rid: str) -> RequestTimeline:
+    """Rebuild one request's timeline (``rid`` may be a unique prefix).
+
+    Raises ``KeyError`` for an unknown id and ``ValueError`` for a
+    request that never completed (the stream was captured mid-flight).
+    """
+    rid = resolve_rid(log, rid)
+    own = log.for_request(rid)
+    bids = {ev.get("bid") for ev in own if ev.get("bid") is not None}
+    events = list(own)
+    if bids:
+        events += [
+            ev for ev in log.events
+            if ev.rid != rid and ev.kind in _BATCH_KINDS
+            and ev.get("bid") in bids
+        ]
+        events.sort(key=lambda ev: ev.seq)
+
+    completes = [ev for ev in own if ev.kind == "complete"]
+    if not completes:
+        raise ValueError(
+            f"request {rid[:12]}… never completed in this event stream"
+        )
+    done = completes[-1]
+    submits = [ev for ev in own if ev.kind == "submit"]
+    t_submit = int(done.get("t_submit", submits[0].tick if submits
+                            else own[0].tick))
+    t_done = done.tick
+    deadline = submits[0].get("deadline") if submits else None
+    pde = str(done.get("pde", submits[0].get("pde", "") if submits else ""))
+
+    enqueues = [ev for ev in own if ev.kind == "enqueue"]
+    forms = [ev for ev in own if ev.kind == "batch_form"]
+    stages = dict.fromkeys(STAGES, 0)
+    if enqueues:
+        t_admit = enqueues[0].tick
+        stages["admission"] = t_admit - t_submit
+        if forms:
+            last = forms[-1]
+            bid = last.get("bid")
+            t_form = last.tick
+            stages["queue"] = t_form - t_admit
+            batch_events = [ev for ev in events if ev.get("bid") == bid]
+            for kind, stage in (("build", "build"), ("factor", "factor"),
+                                ("cache_hit", "cache")):
+                stages[stage] = sum(
+                    int(ev.get("ticks", 0)) for ev in batch_events
+                    if ev.kind == kind
+                )
+            starts = [ev for ev in own
+                      if ev.kind == "solve_start" and ev.get("bid") == bid]
+            t_exec_end = starts[-1].tick if starts else t_done
+            stages["batch"] = (
+                t_exec_end - t_form
+                - stages["build"] - stages["cache"] - stages["factor"]
+            )
+            stages["solve"] = t_done - t_exec_end
+        else:
+            stages["queue"] = t_done - t_admit
+    else:
+        # refused at admission: the whole latency is admission wait
+        stages["admission"] = t_done - t_submit
+
+    shards: list[str] = []
+    for ev in events:
+        if ev.shard is not None and (not shards or shards[-1] != ev.shard):
+            shards.append(ev.shard)
+    return RequestTimeline(
+        rid=rid, status=str(done.get("status", "")),
+        reason=str(done.get("reason", "")), pde=pde,
+        t_submit=t_submit, t_done=t_done,
+        deadline=deadline, retries=int(done.get("retries", 0)),
+        stages=stages, shards=shards, events=events,
+    )
+
+
+def timelines(log: EventLog) -> list[RequestTimeline]:
+    """Timelines of every *completed* request, in first-seen order
+    (requests still in flight when the stream was captured are
+    skipped)."""
+    out: list[RequestTimeline] = []
+    for rid in log.request_ids():
+        try:
+            out.append(reconstruct(log, rid))
+        except ValueError:
+            continue
+    return out
+
+
+def stage_histograms(log: EventLog) -> dict[str, Histogram]:
+    """Deterministic per-stage latency histograms over all completed
+    requests, plus an ``e2e`` end-to-end histogram."""
+    hists = {stage: Histogram() for stage in (*STAGES, "e2e")}
+    for tl in timelines(log):
+        hists["e2e"].observe(tl.latency)
+        for stage, ticks in tl.stages.items():
+            hists[stage].observe(ticks)
+    return hists
+
+
+def timeline_doc(tl: RequestTimeline) -> dict:
+    """Canonical, replay-comparable document of a timeline.
+
+    Global sequence numbers are dropped — a killed-and-recovered run
+    interleaves extra fail-over events, shifting every later ``seq`` —
+    but ticks, kinds, shards and attrs are kept verbatim, so two runs
+    agree on a request's ``timeline_doc`` iff the request experienced
+    the *identical* causal history on the virtual clock.
+    """
+    return {
+        "rid": tl.rid,
+        "status": tl.status,
+        "reason": tl.reason,
+        "pde": tl.pde,
+        "t_submit": tl.t_submit,
+        "t_done": tl.t_done,
+        "retries": tl.retries,
+        "stages": dict(tl.stages),
+        "shards": list(tl.shards),
+        "events": [
+            {"tick": ev.tick, "kind": ev.kind, "shard": ev.shard,
+             "attrs": ev.attrs}
+            for ev in tl.events
+        ],
+    }
+
+
+def render_timeline(tl: RequestTimeline) -> str:
+    """Human-readable causal timeline of one request."""
+    lines = [
+        f"request {tl.rid}",
+        f"  status={tl.status} reason={tl.reason or '-'} pde={tl.pde} "
+        f"retries={tl.retries}",
+        f"  t_submit={tl.t_submit} t_done={tl.t_done} "
+        f"latency={tl.latency} ticks"
+        + (f" (deadline {tl.deadline})" if tl.deadline is not None else ""),
+        "  hops: " + (" -> ".join(tl.shards) if tl.shards else "(local)"),
+        "  stages: "
+        + " ".join(f"{s}={tl.stages[s]}" for s in STAGES)
+        + f"  (sum={sum(tl.stages.values())})",
+        f"  {'seq':>6} {'tick':>10} {'shard':<8} {'kind':<16} attrs",
+    ]
+    for ev in tl.events:
+        attrs = " ".join(
+            f"{k}={v}" for k, v in sorted(ev.attrs.items())
+            if k not in ("t_submit",)
+        )
+        lines.append(
+            f"  {ev.seq:>6} {ev.tick:>10} {ev.shard or '-':<8} "
+            f"{ev.kind:<16} {attrs}"
+        )
+    return "\n".join(lines)
+
+
+def events_to_chrome(log: EventLog) -> dict:
+    """Chrome trace-format timeline of an event stream, one process
+    track per shard (load via chrome://tracing or Perfetto).
+
+    Each completed request becomes one complete ("X") event on its
+    final shard's track (ts = submission tick, dur = end-to-end
+    latency, args = the stage breakdown); rows within a shard track are
+    assigned in completion order.  Steals, retries, rejects and
+    fail-overs appear as instant ("i") markers.  One virtual tick maps
+    to one microsecond.
+    """
+    shard_pids: dict[str, int] = {}
+
+    def pid_of(shard: str | None) -> int:
+        name = shard or "service"
+        if name not in shard_pids:
+            shard_pids[name] = len(shard_pids) + 1
+        return shard_pids[name]
+
+    events: list[dict] = []
+    rows: dict[int, int] = {}
+    for tl in timelines(log):
+        pid = pid_of(tl.shards[-1] if tl.shards else None)
+        rows[pid] = rows.get(pid, 0) + 1
+        events.append({
+            "name": f"req {tl.rid[:10]} [{tl.status}]",
+            "ph": "X", "ts": float(tl.t_submit), "dur": float(tl.latency),
+            "pid": pid, "tid": rows[pid],
+            "args": {"stages": dict(tl.stages), "pde": tl.pde,
+                     "reason": tl.reason, "retries": tl.retries},
+        })
+    for ev in log.events:
+        if ev.kind in ("steal", "retry", "reject", "failover",
+                       "failover_replay"):
+            events.append({
+                "name": ev.kind, "ph": "i", "ts": float(ev.tick), "s": "p",
+                "pid": pid_of(ev.shard), "tid": 0,
+                "args": {"rid": ev.rid[:10], **ev.attrs},
+            })
+    meta = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": name}}
+        for name, pid in sorted(shard_pids.items(), key=lambda kv: kv[1])
+    ]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}

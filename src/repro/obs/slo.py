@@ -1,0 +1,244 @@
+"""Deterministic SLO evaluation and fleet health snapshots.
+
+Turns a flight-recorder stream (:mod:`repro.obs.events`) into the
+operator's view of the fleet: is it meeting its deadlines, is it
+available, which serving stage is burning the latency budget, and is
+any virtual-clock window burning error budget fast enough to page.
+
+Because the serving layers run on integer virtual clocks, every number
+here is a pure function of the event stream — the same health snapshot
+re-evaluates bit-identically from a persisted ``repro.obs/events.v1``
+document, so SLO regressions can be gated in CI exactly like response
+digests.
+
+Definitions (all on the virtual clock):
+
+availability
+    completed-ok / terminal responses.  ``reject`` responses
+    (queue-full refusals, deadline expiries) and retry-exhausted
+    failures count against it.
+deadline-hit rate
+    among requests carrying a deadline, the fraction whose response
+    arrived at or before it.  Requests without a deadline are judged
+    against ``SLOPolicy.default_deadline`` when one is set.
+stage objectives
+    per-stage p95 ceilings (ticks) over the stage attribution of
+    :mod:`repro.obs.reqtrace`.
+burn rate
+    per-window ``(1 - availability) / (1 - availability_objective)``:
+    the speed at which the window consumed error budget (1.0 = exactly
+    on budget; ``SLOPolicy.burn_alert`` of 2.0 pages when a window
+    burned twice its share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import EventLog
+from .reqtrace import STAGES, RequestTimeline, stage_histograms, timelines
+
+__all__ = [
+    "HEALTH_SCHEMA_ID",
+    "SLOPolicy",
+    "evaluate_windows",
+    "fleet_health",
+    "render_health",
+]
+
+HEALTH_SCHEMA_ID = "repro.obs/health.v1"
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Service-level objectives, expressed in virtual ticks."""
+
+    #: fraction of terminal responses that must be ok
+    availability_objective: float = 0.95
+    #: fraction of deadline-carrying requests that must hit it
+    deadline_objective: float = 0.95
+    #: deadline (ticks after submit) applied to requests that carry
+    #: none; ``None`` judges only explicit deadlines
+    default_deadline: int | None = None
+    #: per-stage p95 ceilings in ticks, e.g. ``{"queue": 4000}``
+    stage_p95: dict[str, int] = field(default_factory=dict)
+    #: window width in ticks for burn-rate evaluation
+    window: int = 5_000
+    #: page when a window's burn rate reaches this multiple
+    burn_alert: float = 2.0
+
+
+def _deadline_hit(tl: RequestTimeline, policy: SLOPolicy) -> bool | None:
+    """ok-and-in-time verdict; ``None`` when no deadline applies."""
+    deadline = tl.deadline
+    if deadline is None:
+        if policy.default_deadline is None:
+            return None
+        deadline = tl.t_submit + policy.default_deadline
+    return tl.ok and tl.t_done <= deadline
+
+
+def evaluate_windows(
+    log: EventLog, policy: SLOPolicy
+) -> list[dict]:
+    """Per-window SLO evaluation, bucketing by completion tick.
+
+    Each window doc carries request/ok counts, availability, the burn
+    rate against the availability objective, and an ``alert`` flag.
+    """
+    buckets: dict[int, list[RequestTimeline]] = {}
+    for tl in timelines(log):
+        buckets.setdefault(tl.t_done // policy.window, []).append(tl)
+    budget = 1.0 - policy.availability_objective
+    out = []
+    for w in sorted(buckets):
+        tls = buckets[w]
+        ok = sum(1 for tl in tls if tl.ok)
+        avail = ok / len(tls)
+        burn = (1.0 - avail) / budget if budget > 0 else (
+            0.0 if avail == 1.0 else float("inf")
+        )
+        out.append({
+            "window": w,
+            "t_start": w * policy.window,
+            "t_end": (w + 1) * policy.window,
+            "requests": len(tls),
+            "ok": ok,
+            "availability": avail,
+            "burn_rate": burn,
+            "alert": burn >= policy.burn_alert,
+        })
+    return out
+
+
+def fleet_health(
+    log: EventLog, policy: SLOPolicy | None = None, name: str = ""
+) -> dict:
+    """Roll a full event stream into a ``repro.obs/health.v1`` snapshot.
+
+    The snapshot is deterministic: identical streams (same digest)
+    yield byte-identical health documents.
+    """
+    policy = policy or SLOPolicy()
+    tls = timelines(log)
+    ok = [tl for tl in tls if tl.ok]
+    rejected = [tl for tl in tls if tl.status == "rejected"]
+    failed = [tl for tl in tls if not tl.ok and tl.status != "rejected"]
+    availability = len(ok) / len(tls) if tls else 1.0
+
+    verdicts = [_deadline_hit(tl, policy) for tl in tls]
+    judged = [v for v in verdicts if v is not None]
+    deadline_hit = (sum(judged) / len(judged)) if judged else None
+
+    hists = stage_histograms(log)
+    stages = {name_: h.summary() for name_, h in hists.items()}
+
+    violations: list[dict] = []
+    if availability < policy.availability_objective:
+        violations.append({
+            "objective": "availability",
+            "target": policy.availability_objective,
+            "actual": availability,
+        })
+    if deadline_hit is not None and deadline_hit < policy.deadline_objective:
+        violations.append({
+            "objective": "deadline_hit_rate",
+            "target": policy.deadline_objective,
+            "actual": deadline_hit,
+        })
+    for stage, ceiling in sorted(policy.stage_p95.items()):
+        summ = stages.get(stage) or {}
+        p95 = summ.get("p95", 0.0)
+        if p95 > ceiling:
+            violations.append({
+                "objective": f"stage_p95:{stage}",
+                "target": ceiling,
+                "actual": p95,
+            })
+
+    windows = evaluate_windows(log, policy)
+    alerts = [w for w in windows if w["alert"]]
+
+    retries = sum(tl.retries for tl in tls)
+    per_shard: dict[str, int] = {}
+    for tl in tls:
+        if tl.shards:
+            key = tl.shards[-1]
+            per_shard[key] = per_shard.get(key, 0) + 1
+
+    return {
+        "schema": HEALTH_SCHEMA_ID,
+        "name": name,
+        "policy": {
+            "availability_objective": policy.availability_objective,
+            "deadline_objective": policy.deadline_objective,
+            "default_deadline": policy.default_deadline,
+            "stage_p95": dict(sorted(policy.stage_p95.items())),
+            "window": policy.window,
+            "burn_alert": policy.burn_alert,
+        },
+        "requests": len(tls),
+        "ok": len(ok),
+        "rejected": len(rejected),
+        "failed": len(failed),
+        "retries": retries,
+        "availability": availability,
+        "deadline_hit_rate": deadline_hit,
+        "per_shard_completed": dict(sorted(per_shard.items())),
+        "stages": stages,
+        "windows": windows,
+        "violations": violations,
+        "alert_windows": [w["window"] for w in alerts],
+        "healthy": not violations and not alerts,
+        "events": len(log),
+        "event_digest": log.digest,
+    }
+
+
+def render_health(doc: dict) -> str:
+    """Human-readable fleet health report from a health snapshot."""
+    lines = [
+        f"fleet health: {'HEALTHY' if doc['healthy'] else 'DEGRADED'}"
+        + (f"  ({doc['name']})" if doc.get("name") else ""),
+        f"  requests={doc['requests']} ok={doc['ok']} "
+        f"rejected={doc['rejected']} failed={doc['failed']} "
+        f"retries={doc['retries']}",
+        f"  availability={doc['availability']:.4f}"
+        + (
+            f"  deadline_hit_rate={doc['deadline_hit_rate']:.4f}"
+            if doc["deadline_hit_rate"] is not None
+            else "  deadline_hit_rate=n/a"
+        ),
+    ]
+    lines.append("  stage p50/p95 (ticks):")
+    for stage in (*STAGES, "e2e"):
+        summ = doc["stages"].get(stage) or {}
+        if summ.get("count"):
+            lines.append(
+                f"    {stage:<10} p50={summ['p50']:>12.1f} "
+                f"p95={summ['p95']:>12.1f} max={summ['max']:>12.1f}"
+            )
+    if doc["windows"]:
+        lines.append(
+            f"  windows ({doc['policy']['window']} ticks, "
+            f"burn alert at {doc['policy']['burn_alert']:.1f}x):"
+        )
+        for w in doc["windows"]:
+            flag = "  <-- ALERT" if w["alert"] else ""
+            lines.append(
+                f"    [{w['t_start']:>8}, {w['t_end']:>8})  "
+                f"n={w['requests']:<4} avail={w['availability']:.3f} "
+                f"burn={w['burn_rate']:.2f}x{flag}"
+            )
+    for v in doc["violations"]:
+        lines.append(
+            f"  VIOLATION {v['objective']}: "
+            f"target {v['target']} actual {v['actual']:.4f}"
+        )
+    if doc["per_shard_completed"]:
+        spread = " ".join(
+            f"{k}={v}" for k, v in doc["per_shard_completed"].items()
+        )
+        lines.append(f"  completed per shard: {spread}")
+    lines.append(f"  events={doc['events']} digest={doc['event_digest']}")
+    return "\n".join(lines)

@@ -302,10 +302,17 @@ def ensure_factor(entry: CacheEntry, request: SolveRequest):
     return factor, True
 
 
-def solve_batch(factor, requests: list[SolveRequest]) -> BatchOutcome:
-    """Solve one batch through its cached factor (one multi-RHS block)."""
+def solve_batch(factor, requests: list[SolveRequest],
+                emit=None) -> BatchOutcome:
+    """Solve one batch through its cached factor (one multi-RHS block).
+
+    ``emit`` is the flight-recorder hook: when the owning service
+    records events, it passes a callback that turns the batch execution
+    into one ``solve_exec`` event (columns, matvecs, pde)."""
     with span("serve.solve", pde=factor.kind) as osp:
         out = factor.solve(requests)
         osp.add("columns", len(requests))
         osp.add("matvecs", out.matvecs)
+    if emit is not None:
+        emit(columns=len(requests), matvecs=out.matvecs, pde=factor.kind)
     return out

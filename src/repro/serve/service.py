@@ -60,7 +60,8 @@ class SolverService:
     def __init__(self, *, cache_bytes: int = 256 << 20,
                  max_pending: int = 128, max_batch: int = 8,
                  max_retries: int = 2, backoff: int = 1000,
-                 fault_injector=None, name: str | None = None):
+                 fault_injector=None, name: str | None = None,
+                 recorder=None):
         self.name = name
         self.cache = ArtifactCache(cache_bytes, name=name)
         self.scheduler = Scheduler(
@@ -75,6 +76,15 @@ class SolverService:
         self.batched_requests = 0
         self._status_counts: dict[str, int] = {}
         self._stream = hashlib.sha256()
+        #: optional flight recorder (:class:`repro.obs.EventLog`); every
+        #: emission site costs one ``is not None`` check when absent
+        self.recorder = recorder
+        self.scheduler.recorder = recorder
+        self.scheduler.shard = name
+        #: monotonic batch counter — unlike ``self.batches`` it also
+        #: counts batches that died in a breakdown, so every dispatched
+        #: batch gets a distinct ``bid`` in the event stream
+        self._batch_seq = 0
         #: observer called with every finalized response — the fleet
         #: layer hangs its durable completion log and digests here
         self.on_response = None
@@ -88,15 +98,32 @@ class SolverService:
         queue is full.  ``t_submit`` overrides the recorded submission
         tick (fleet arrivals trail the shard clock when it is busy)."""
         request.validate()
+        arrival = self.clock.now if t_submit is None else int(t_submit)
+        if self.recorder is not None:
+            self.recorder.emit(
+                "submit", request.digest, tick=arrival, shard=self.name,
+                pde=request.pde, priority=request.priority,
+                deadline=request.deadline,
+            )
         item = self.scheduler.submit(request, self.clock, t_submit=t_submit)
         if item is None:
-            now = self.clock.now if t_submit is None else int(t_submit)
+            if self.recorder is not None:
+                self.recorder.emit(
+                    "reject", request.digest, tick=self.clock.now,
+                    shard=self.name, reason="queue_full",
+                    depth=self.scheduler.depth,
+                )
             rej = Rejected(
                 request.digest, "queue_full", pde=request.pde,
-                t_submit=now, t_done=self.clock.now,
+                t_submit=arrival, t_done=self.clock.now,
             )
             self._finalize(rej)
             return rej
+        if self.recorder is not None:
+            self.recorder.emit(
+                "admit", request.digest, tick=self.clock.now,
+                shard=self.name, depth=self.scheduler.depth,
+            )
         set_gauge("serve.queue_depth", self.scheduler.depth)
         return None
 
@@ -111,6 +138,12 @@ class SolverService:
         done: list[SolveResponse] = []
         batch, expired = self.scheduler.next_batch(self.clock)
         for it in expired:
+            if self.recorder is not None:
+                self.recorder.emit(
+                    "reject", it.digest, tick=self.clock.now,
+                    shard=self.name, reason="deadline_exceeded",
+                    retries=it.retries,
+                )
             done.append(self._finalize(Rejected(
                 it.digest, "deadline_exceeded", pde=it.request.pde,
                 t_submit=it.t_submit, t_done=self.clock.now,
@@ -134,35 +167,83 @@ class SolverService:
         :meth:`repro.serve.scheduler.Scheduler.ready_time`)."""
         return self.scheduler.ready_time(self.clock)
 
-    def _resolve_entry(self, request: SolveRequest):
+    def _resolve_entry(self, request: SolveRequest, bid: str = ""):
         """Resolve the request's cache entry; the shard adapter hook.
 
         Returns ``(entry, hit)``.  The base service knows one tier: L1
         miss → build (advancing the clock by the build cost).  The
         fleet's shard override consults the shared second tier between
-        the miss and the build."""
+        the miss and the build.  ``bid`` is the dispatching batch's id;
+        cache/build events are batch-scoped and join every member's
+        timeline through it."""
         entry = self.cache.lookup(request.mesh_digest)
         if entry is not None:
+            if self.recorder is not None:
+                self.recorder.emit(
+                    "cache_hit", request.digest, tick=self.clock.now,
+                    shard=self.name, tier="l1", bid=bid, ticks=0,
+                )
             return entry, True
+        if self.recorder is not None:
+            self.recorder.emit(
+                "cache_miss", request.digest, tick=self.clock.now,
+                shard=self.name, tier="l1", bid=bid,
+            )
         entry = build_entry(request)
-        self.clock.advance(cost_build(entry.mesh.n_elem))
+        ticks = cost_build(entry.mesh.n_elem)
+        self.clock.advance(ticks)
+        if self.recorder is not None:
+            self.recorder.emit(
+                "build", request.digest, tick=self.clock.now,
+                shard=self.name, bid=bid, ticks=ticks,
+                n_elem=entry.mesh.n_elem,
+            )
         return self.cache.insert(request.mesh_digest, entry), False
 
     def _run_batch(self, batch: list[PendingItem]) -> list[SolveResponse]:
         req0 = batch[0].request
         out: list[SolveResponse] = []
+        self._batch_seq += 1
+        bid = f"{self.name or 'serve'}#b{self._batch_seq}"
         with span("serve.batch", pde=req0.pde) as bsp:
             t_start = self.clock.now
-            entry, hit = self._resolve_entry(req0)
+            if self.recorder is not None:
+                for it in batch:
+                    self.recorder.emit(
+                        "batch_form", it.digest, tick=t_start,
+                        shard=self.name, bid=bid, size=len(batch),
+                    )
+            entry, hit = self._resolve_entry(req0, bid)
             factor, built = ensure_factor(entry, req0)
             if built:
-                self.clock.advance(cost_factor(entry.mesh.n_nodes))
+                ticks = cost_factor(entry.mesh.n_nodes)
+                self.clock.advance(ticks)
                 self.cache.enforce_budget(protect=entry.fingerprint)
+                if self.recorder is not None:
+                    self.recorder.emit(
+                        "factor", req0.digest, tick=self.clock.now,
+                        shard=self.name, bid=bid, ticks=ticks,
+                    )
+            emit = None
+            if self.recorder is not None:
+                def emit(**kw):
+                    self.recorder.emit(
+                        "solve_exec", req0.digest, tick=self.clock.now,
+                        shard=self.name, bid=bid, **kw,
+                    )
             try:
                 if self.fault_injector is not None:
                     for it in batch:
                         self.fault_injector(it.request, it.retries)
-                outcome = solve_batch(factor, [it.request for it in batch])
+                if self.recorder is not None:
+                    for it in batch:
+                        self.recorder.emit(
+                            "solve_start", it.digest, tick=self.clock.now,
+                            shard=self.name, bid=bid,
+                        )
+                outcome = solve_batch(
+                    factor, [it.request for it in batch], emit=emit
+                )
             except SolverBreakdown as exc:
                 bsp.event("solver_breakdown",
                           reason=getattr(exc, "reason", "breakdown"))
@@ -213,6 +294,13 @@ class SolverService:
     # -- response stream -------------------------------------------------
 
     def _finalize(self, resp: SolveResponse) -> SolveResponse:
+        if self.recorder is not None:
+            self.recorder.emit(
+                "complete", resp.request_digest, tick=resp.t_done,
+                shard=self.name, status=resp.status, reason=resp.reason,
+                t_submit=resp.t_submit, retries=resp.retries,
+                pde=resp.pde, batch_size=resp.batch_size,
+            )
         self.responses.append(resp)
         self._stream.update(resp.digest.encode())
         self._status_counts[resp.status] = (

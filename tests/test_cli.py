@@ -50,3 +50,147 @@ def test_signed_distance_runs(capsys, tmp_path):
     e3 = float(lines[-2].split()[-1])
     e4 = float(lines[-1].split()[-1])
     assert e4 < e3
+
+
+# -- trace-diff ---------------------------------------------------------
+
+
+def _span(name, duration, count=1, counters=None, children=None):
+    return {"name": name, "duration": duration, "count": count,
+            "counters": counters or {}, "children": children or []}
+
+
+def _artifact(tmp_path, name, spans):
+    import json
+
+    doc = {"schema": "repro.obs/run.v1", "name": name, "spans": spans,
+           "metrics": {"counters": {}, "gauges": {}}}
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def test_trace_diff_json_doc_clean(capsys, tmp_path):
+    import json
+
+    spans = [_span("solve", 0.5, counters={"matvecs": 12})]
+    base = _artifact(tmp_path, "base", spans)
+    new = _artifact(tmp_path, "new", spans)
+    out = tmp_path / "diff.json"
+    rc = main(["trace-diff", str(base), str(new), "--json", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.obs/trace_diff.v1"
+    assert doc["flagged"] is False
+    assert [d["status"] for d in doc["deltas"]] == ["ok"]
+    assert "no regressions within tolerance" in capsys.readouterr().out
+
+
+def test_trace_diff_added_removed_span_exits_nonzero(capsys, tmp_path):
+    import json
+
+    base = _artifact(tmp_path, "base",
+                     [_span("assemble", 0.2), _span("solve", 0.5)])
+    new = _artifact(tmp_path, "new",
+                    [_span("solve", 0.5), _span("precondition", 0.1)])
+    out = tmp_path / "diff.json"
+    with pytest.raises(SystemExit) as exc:
+        main(["trace-diff", str(base), str(new), "--json", str(out)])
+    assert exc.value.code == 1
+    cap = capsys.readouterr().out
+    assert "assemble: removed" in cap
+    assert "precondition: added" in cap
+    doc = json.loads(out.read_text())
+    assert doc["flagged"] is True
+    status = {d["path"]: d["status"] for d in doc["deltas"]}
+    assert status == {"assemble": "removed", "precondition": "added",
+                      "solve": "ok"}
+
+
+def test_trace_diff_counter_drift_exits_nonzero(capsys, tmp_path):
+    base = _artifact(tmp_path, "base",
+                     [_span("solve", 0.5, counters={"matvecs": 12})])
+    new = _artifact(tmp_path, "new",
+                    [_span("solve", 0.5, counters={"matvecs": 13})])
+    with pytest.raises(SystemExit) as exc:
+        main(["trace-diff", str(base), str(new)])
+    assert exc.value.code == 1
+    assert "counter matvecs drifted 12 -> 13" in capsys.readouterr().out
+
+
+# -- flight recorder CLI ------------------------------------------------
+
+
+def _serve_events(tmp_path, capsys):
+    """serve-demo --events fixture: returns (events path, stdout)."""
+    ev = tmp_path / "ev.json"
+    rc = main(["serve-demo", "--requests", "8", "--events", str(ev)])
+    assert rc == 0
+    return ev, capsys.readouterr().out
+
+
+def test_serve_demo_events_digest_line(capsys, tmp_path):
+    from repro.obs import load_events
+
+    ev, cap = _serve_events(tmp_path, capsys)
+    log = load_events(ev)  # digest re-verified on load
+    digest_line = [ln for ln in cap.splitlines()
+                   if ln.startswith("event digest:")]
+    assert digest_line == [f"event digest: {log.digest}"]
+    assert f"events: {len(log)} written to {ev}" in cap
+
+
+def test_request_trace_list_and_timeline(capsys, tmp_path):
+    ev, _ = _serve_events(tmp_path, capsys)
+    listing = tmp_path / "list.txt"
+    rc = main(["request-trace", str(ev), "--list", "--out", str(listing)])
+    assert rc == 0
+    capsys.readouterr()
+    rows = listing.read_text().strip().splitlines()
+    assert len(rows) == 8
+    rid = rows[0].split()[0]
+
+    out = tmp_path / "tl.txt"
+    rc = main(["request-trace", str(ev), rid[:12], "--out", str(out)])
+    assert rc == 0
+    capsys.readouterr()
+    text = out.read_text()
+    assert f"request {rid}" in text
+    assert "stages: " in text and "(sum=" in text
+
+    with pytest.raises(SystemExit, match="no request matching"):
+        main(["request-trace", str(ev), "zzzz"])
+
+
+def test_fleet_health_cli_outputs_and_strict(capsys, tmp_path):
+    import json
+
+    ev = tmp_path / "fleet_ev.json"
+    rc = main(["fleet-demo", "--shards", "2", "--requests", "12",
+               "--mean-gap", "40", "--burst-gap", "5",
+               "--events", str(ev)])
+    assert rc == 0
+    capsys.readouterr()
+
+    hjson = tmp_path / "health.json"
+    chrome = tmp_path / "chrome.json"
+    report = tmp_path / "health.txt"
+    rc = main(["fleet-health", str(ev), "--json", str(hjson),
+               "--chrome", str(chrome), "--out", str(report)])
+    assert rc == 0
+    capsys.readouterr()
+    assert report.read_text().startswith("fleet health:")
+    doc = json.loads(hjson.read_text())
+    assert doc["schema"] == "repro.obs/health.v1"
+    assert doc["requests"] == 12
+    trace = json.loads(chrome.read_text())
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    # an unmeetable stage ceiling turns --strict into a gate
+    with pytest.raises(SystemExit) as exc:
+        main(["fleet-health", str(ev), "--stage-p95", "solve=1", "--strict"])
+    assert exc.value.code == 1
+    assert "VIOLATION stage_p95:solve" in capsys.readouterr().out
+
+    with pytest.raises(SystemExit, match="STAGE=TICKS"):
+        main(["fleet-health", str(ev), "--stage-p95", "solve"])
