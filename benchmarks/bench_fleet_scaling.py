@@ -54,11 +54,11 @@ def _workload():
     )
 
 
-def _fleet(n_shards, *, stealing=True, ckpt_dir=None, recorder=None):
+def _fleet(n_shards, *, stealing=True, ckpt_dir=None, recorder=None, **kw):
     return FleetService(
         n_shards, cache_bytes=8 << 20, steal_threshold=4,
         steal_latency=100, stealing=stealing, ckpt_dir=ckpt_dir,
-        ckpt_interval=4, recorder=recorder,
+        ckpt_interval=4, recorder=recorder, **kw,
     )
 
 
@@ -160,6 +160,56 @@ def test_fleet_scaling(tmp_path=None):
         recovered_bit_identical=recovered,
         speedup_4shard_over_1shard=speedup,
     )
+
+    # straggler tail latency: the busiest shard runs 10x slow for the
+    # whole run (stealing off, so nothing else rebalances); hedged
+    # requests must claw back at least half of the lost p99
+    from repro.chaos import ChaosSchedule
+    from repro.fleet.defense import HedgePolicy
+
+    def straggler_fleet(hedge=None):
+        return _fleet(
+            4, stealing=False,
+            chaos=ChaosSchedule().slow(victim, 0, 1 << 30, 10),
+            hedge=hedge,
+        )
+
+    # the delay is pinned (unreachable min_samples): under a whole-run
+    # straggler the adaptive p95 is itself straggler-inflated, so the
+    # observed-latency recipe never fires — the classic feedback trap
+    hedge_policy = HedgePolicy(initial_delay=2_000, min_delay=1_000,
+                               min_samples=10**9, transfer_latency=100)
+    p99_clean = base.stats()["latency_ticks"]["p99"]
+    no_hedge = straggler_fleet()
+    no_hedge.run(wl)
+    p99_no_hedge = no_hedge.stats()["latency_ticks"]["p99"]
+    hedged = straggler_fleet(hedge=hedge_policy)
+    hedged.run(wl)
+    p99_hedged = hedged.stats()["latency_ticks"]["p99"]
+    lost_no_hedge = p99_no_hedge - p99_clean
+    lost_hedged = max(p99_hedged - p99_clean, 1.0)
+    recovery = lost_no_hedge / lost_hedged
+    table.row("")
+    table.row(f"straggler tail ({victim} 10x slow, 4 shards, "
+              "stealing off):")
+    table.row(f"{'config':>12} {'p99':>9} {'lost p99':>9} {'hedges':>7}")
+    table.row(f"{'clean':>12} {p99_clean:>9.0f} {0:>9.0f} {'-':>7}")
+    table.row(f"{'no hedge':>12} {p99_no_hedge:>9.0f} "
+              f"{lost_no_hedge:>9.0f} {0:>7}")
+    table.row(f"{'hedged':>12} {p99_hedged:>9.0f} "
+              f"{p99_hedged - p99_clean:>9.0f} "
+              f"{hedged.hedges_fired:>7}")
+    table.row(f"hedging recovered {recovery:.1f}x of the lost p99 "
+              "(bar: >= 2x)")
+    table.record(
+        straggler_victim=victim,
+        straggler_p99_clean=p99_clean,
+        straggler_p99_no_hedge=p99_no_hedge,
+        straggler_p99_hedged=p99_hedged,
+        straggler_hedges_fired=hedged.hedges_fired,
+        straggler_hedge_wins=hedged.hedge_wins,
+        straggler_p99_recovery=recovery,
+    )
     table.save()
 
     assert speedup >= 2.0, (
@@ -169,6 +219,11 @@ def test_fleet_scaling(tmp_path=None):
     assert no_overhead, (
         "flight recorder perturbed the virtual clock: "
         f"makespan {rec_makespan} vs {bare.makespan}"
+    )
+    assert hedged.hedges_fired > 0, "straggler scenario never hedged"
+    assert recovery >= 2.0, (
+        f"hedging recovered only {recovery:.2f}x of the straggler's "
+        "lost p99 (bar: >= 2x)"
     )
 
 

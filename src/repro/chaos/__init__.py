@@ -1,0 +1,35 @@
+"""repro.chaos — seeded, deterministic fleet-level fault injection.
+
+Chaos engineering for the virtual-clock serving fleet: a
+:class:`~repro.chaos.schedule.ChaosSchedule` names exactly which shard
+slows, stalls, crashes, serves a bit-flipped artifact or mangles a
+handoff, and :mod:`repro.chaos.invariants` certifies — as bit-level
+equalities, not statistics — that the defense layers (hedged requests,
+circuit breakers, brownout, cache quarantine, checkpointed fail-over)
+preserve exactly-once completion, unaffected-request identity and
+deterministic health snapshots under every schedule.
+"""
+
+from .invariants import CHAOS_KINDS, check_schedule, run_sweep
+from .schedule import (
+    CacheCorruption,
+    ChaosClock,
+    ChaosSchedule,
+    Crash,
+    HandoffFault,
+    Slowdown,
+    Stall,
+)
+
+__all__ = [
+    "Slowdown",
+    "Stall",
+    "Crash",
+    "CacheCorruption",
+    "HandoffFault",
+    "ChaosSchedule",
+    "ChaosClock",
+    "CHAOS_KINDS",
+    "check_schedule",
+    "run_sweep",
+]

@@ -1,0 +1,289 @@
+"""Seeded, deterministic fleet-level fault schedules on the virtual clock.
+
+The serve/fleet layers are discrete-event simulations: every timestamp
+is an integer virtual tick and every decision is a pure function of
+(config, workload, history).  That makes *chaos engineering* exact —
+a :class:`ChaosSchedule` names precisely which shard slows down, stalls,
+crashes, serves a corrupted artifact or mangles a cross-shard handoff,
+and at which tick or operation index.  Replaying the same schedule
+over the same workload reproduces the same run bit for bit, so the
+invariants in :mod:`repro.chaos.invariants` (exactly-once completion,
+unaffected-request identity, deterministic health snapshots) are
+checkable equalities rather than statistical claims.
+
+Fault vocabulary:
+
+* :class:`Slowdown` — shard ``shard`` pays ``factor``× ticks for every
+  unit of work whose execution starts in ``[t0, t1)`` (a degraded
+  host).  Applied through :class:`ChaosClock`, the schedule-aware
+  virtual clock the fleet installs on each shard.
+* :class:`Stall` — shard ``shard`` executes nothing in ``[t0, t1)``
+  (a GC pause / network partition); the fleet loop defers the shard's
+  ready time to ``t1`` and jumps its clock over the window.
+* :class:`Crash` — the shard's process state is discarded at ``tick``
+  and checkpointed fail-over rebuilds it (the existing ``kill``
+  machinery, now schedulable in multiples at arbitrary ticks).
+* :class:`CacheCorruption` — one bit of a cached artifact's payload on
+  ``shard`` flips just before that shard's ``at_lookup``-th L1 cache
+  lookup (bit rot under the service's feet).
+* :class:`HandoffFault` — the ``index``-th cross-shard steal handoff
+  is ``"dup"``\\ licated (delivered *and* kept at the source — the
+  exactly-once guard must dedup) or ``"drop"``\\ ped (lost in transit —
+  the source retransmits after a timeout).
+
+``random(seed, ...)`` draws a mixed schedule deterministically from a
+seed; explicit builders compose scenarios by hand.  One-shot faults
+(corruption, handoff) are consumed on firing and never re-fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..serve.scheduler import VirtualClock
+
+__all__ = [
+    "Slowdown",
+    "Stall",
+    "Crash",
+    "CacheCorruption",
+    "HandoffFault",
+    "ChaosSchedule",
+    "ChaosClock",
+]
+
+
+@dataclass(frozen=True)
+class Slowdown:
+    """Shard ``shard`` runs ``factor``× slower during ``[t0, t1)``."""
+
+    shard: str
+    t0: int
+    t1: int
+    factor: int = 10
+
+    def describe(self) -> str:
+        return (f"slowdown {self.shard} x{self.factor} "
+                f"@ [{self.t0}, {self.t1})")
+
+
+@dataclass(frozen=True)
+class Stall:
+    """Shard ``shard`` executes nothing during ``[t0, t1)``."""
+
+    shard: str
+    t0: int
+    t1: int
+
+    def describe(self) -> str:
+        return f"stall {self.shard} @ [{self.t0}, {self.t1})"
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Shard ``shard`` loses its process state at ``tick``."""
+
+    tick: int
+    shard: str
+
+    def describe(self) -> str:
+        return f"crash {self.shard} @ {self.tick}"
+
+
+@dataclass(frozen=True)
+class CacheCorruption:
+    """Flip one bit of a cached artifact before ``shard``'s
+    ``at_lookup``-th L1 lookup (1-based)."""
+
+    shard: str
+    at_lookup: int
+
+    def describe(self) -> str:
+        return f"corrupt cache {self.shard} @ lookup {self.at_lookup}"
+
+
+@dataclass(frozen=True)
+class HandoffFault:
+    """Duplicate or drop the ``index``-th cross-shard handoff (0-based
+    over all executed steal migrations, fleet-wide)."""
+
+    index: int
+    mode: str  # "dup" | "drop"
+
+    def describe(self) -> str:
+        return f"{self.mode} handoff #{self.index}"
+
+
+class ChaosSchedule:
+    """A seeded, fully deterministic plan of fleet-level faults."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.slowdowns: list[Slowdown] = []
+        self.stalls: list[Stall] = []
+        self.crash_list: list[Crash] = []
+        self.corruptions: list[CacheCorruption] = []
+        self.handoff_faults: list[HandoffFault] = []
+        self._consumed_corruptions: set[int] = set()
+        self._consumed_handoffs: set[int] = set()
+
+    # -- construction ---------------------------------------------------
+
+    def slow(self, shard: str, t0: int, t1: int,
+             factor: int = 10) -> "ChaosSchedule":
+        if t1 <= t0 or factor < 1:
+            raise ValueError("need t1 > t0 and factor >= 1")
+        self.slowdowns.append(Slowdown(shard, int(t0), int(t1), int(factor)))
+        return self
+
+    def stall(self, shard: str, t0: int, t1: int) -> "ChaosSchedule":
+        if t1 <= t0:
+            raise ValueError("need t1 > t0")
+        self.stalls.append(Stall(shard, int(t0), int(t1)))
+        return self
+
+    def crash(self, tick: int, shard: str) -> "ChaosSchedule":
+        self.crash_list.append(Crash(int(tick), shard))
+        return self
+
+    def corrupt_cache(self, shard: str, at_lookup: int) -> "ChaosSchedule":
+        if at_lookup < 1:
+            raise ValueError("at_lookup is 1-based")
+        self.corruptions.append(CacheCorruption(shard, int(at_lookup)))
+        return self
+
+    def handoff(self, index: int, mode: str) -> "ChaosSchedule":
+        if mode not in ("dup", "drop"):
+            raise ValueError("mode must be 'dup' or 'drop'")
+        self.handoff_faults.append(HandoffFault(int(index), mode))
+        return self
+
+    @classmethod
+    def random(cls, seed: int, shard_ids: list[str], horizon: int, *,
+               n_slow: int = 1, n_stall: int = 1, n_crash: int = 0,
+               n_corrupt: int = 1, n_handoff: int = 0,
+               slow_factor: int = 10) -> "ChaosSchedule":
+        """Draw a mixed schedule deterministically from ``seed``.
+
+        The same (seed, shard_ids, horizon, counts) always yields the
+        same schedule — the reproducibility contract of every chaos
+        experiment.  Windows are drawn inside ``[0, horizon)``; crashes
+        land in the back half of the horizon so checkpoints and logs
+        have something to replay.
+        """
+        rng = np.random.default_rng(seed)
+        sched = cls(seed=seed)
+        ids = list(shard_ids)
+
+        def pick_shard() -> str:
+            return ids[int(rng.integers(0, len(ids)))]
+
+        def window(max_len: int) -> tuple[int, int]:
+            t0 = int(rng.integers(0, max(horizon - 1, 1)))
+            length = int(rng.integers(max_len // 4 + 1, max_len + 1))
+            return t0, t0 + length
+
+        for _ in range(n_slow):
+            t0, t1 = window(horizon // 2)
+            sched.slow(pick_shard(), t0, t1, factor=slow_factor)
+        for _ in range(n_stall):
+            t0, t1 = window(horizon // 4)
+            sched.stall(pick_shard(), t0, t1)
+        for _ in range(n_crash):
+            tick = int(rng.integers(horizon // 2, horizon))
+            sched.crash(tick, pick_shard())
+        for _ in range(n_corrupt):
+            sched.corrupt_cache(pick_shard(), int(rng.integers(1, 9)))
+        for _ in range(n_handoff):
+            mode = ("dup", "drop")[int(rng.integers(0, 2))]
+            sched.handoff(int(rng.integers(0, 6)), mode)
+        return sched
+
+    # -- runtime queries (used by the fleet loop) -----------------------
+
+    def slow_factor(self, shard: str, now: int) -> int:
+        """Combined slowdown factor for work starting at ``now``."""
+        f = 1
+        for s in self.slowdowns:
+            if s.shard == shard and s.t0 <= now < s.t1:
+                f = max(f, s.factor)
+        return f
+
+    def stall_until(self, shard: str, t: int) -> int:
+        """Earliest tick at or after ``t`` at which ``shard`` may
+        execute (``t`` itself when no stall window covers it)."""
+        out = int(t)
+        changed = True
+        while changed:  # windows may chain
+            changed = False
+            for s in self.stalls:
+                if s.shard == shard and s.t0 <= out < s.t1:
+                    out = s.t1
+                    changed = True
+        return out
+
+    def crashes(self) -> list[tuple[int, str]]:
+        """All scheduled crashes as sorted ``(tick, shard)`` pairs."""
+        return sorted((c.tick, c.shard) for c in self.crash_list)
+
+    def cache_corruption_due(self, shard: str, lookup_no: int) -> bool:
+        """One-shot: is a corruption scheduled for this shard's
+        ``lookup_no``-th L1 lookup?  Consumed on firing."""
+        for i, c in enumerate(self.corruptions):
+            if (c.shard == shard and c.at_lookup == lookup_no
+                    and i not in self._consumed_corruptions):
+                self._consumed_corruptions.add(i)
+                return True
+        return False
+
+    def handoff_mode(self, index: int) -> str | None:
+        """One-shot: fault mode for the ``index``-th handoff, if any."""
+        for i, f in enumerate(self.handoff_faults):
+            if f.index == index and i not in self._consumed_handoffs:
+                self._consumed_handoffs.add(i)
+                return f.mode
+        return None
+
+    # -- reporting ------------------------------------------------------
+
+    def affected_shards(self) -> set[str]:
+        """Shards named by any scheduled fault (handoff faults name no
+        shard statically — their victims surface in the event stream)."""
+        out: set[str] = set()
+        out.update(s.shard for s in self.slowdowns)
+        out.update(s.shard for s in self.stalls)
+        out.update(c.shard for c in self.crash_list)
+        out.update(c.shard for c in self.corruptions)
+        return out
+
+    def faults(self) -> list:
+        return [*self.slowdowns, *self.stalls, *self.crash_list,
+                *self.corruptions, *self.handoff_faults]
+
+    def describe(self) -> list[str]:
+        return [f.describe() for f in self.faults()]
+
+    def clock_for(self, shard: str) -> "ChaosClock":
+        """The slowdown-scaling virtual clock the fleet installs on
+        ``shard`` (keeps :mod:`repro.fleet` free of chaos imports)."""
+        return ChaosClock(self, shard)
+
+
+class ChaosClock(VirtualClock):
+    """A :class:`~repro.serve.scheduler.VirtualClock` that scales every
+    advance by the schedule's active slowdown factor for its shard.
+
+    Work whose execution *starts* inside a slowdown window pays the
+    full factor — the discrete-event analogue of a degraded host, and
+    still a pure function of (schedule, history)."""
+
+    def __init__(self, schedule: ChaosSchedule, shard: str):
+        super().__init__()
+        self.schedule = schedule
+        self.shard = shard
+
+    def advance(self, ticks: int) -> int:
+        factor = self.schedule.slow_factor(self.shard, self.now)
+        return super().advance(int(ticks) * factor)

@@ -548,6 +548,89 @@ def cmd_fleet_demo(args) -> None:
     _emit(lines, args.out)
 
 
+def cmd_chaos_demo(args) -> None:
+    """Run a seeded fault schedule against the fully-defended fleet —
+    or sweep the chaos invariants (``--check``)."""
+    from .chaos import run_sweep
+
+    if args.check:
+        out = run_sweep(seeds=tuple(range(args.seeds)), strict=False,
+                        log=print)
+        lines = [
+            f"# chaos-check: {out['passed']}/{out['schedules']} "
+            f"schedules passed"
+        ]
+        for breach in out["breaches"]:
+            lines.append(f"BREACH: {breach}")
+        _emit(lines, args.out)
+        if out["breaches"] and args.strict:
+            raise SystemExit(1)
+        return
+
+    from .chaos import ChaosSchedule
+    from .fleet import FleetService, synthetic_workload
+    from .fleet.defense import BreakerPolicy, HedgePolicy
+    from .obs.events import EventLog
+    from .serve.scheduler import BrownoutPolicy
+
+    recorder = EventLog()
+    shard_ids = [f"shard{i}" for i in range(args.shards)]
+    sched = ChaosSchedule.random(
+        args.seed, shard_ids, args.horizon,
+        n_slow=1, n_stall=1, n_crash=args.crashes, n_corrupt=1,
+        n_handoff=0 if args.no_steal else 2,
+        slow_factor=args.slow_factor,
+    )
+    fleet = FleetService(
+        args.shards, cache_bytes=args.cache_mb << 20,
+        steal_threshold=4, steal_latency=100,
+        stealing=not args.no_steal, recorder=recorder, chaos=sched,
+        hedge=HedgePolicy(), breaker=BreakerPolicy(),
+        brownout=BrownoutPolicy(),
+    )
+    fleet.run(synthetic_workload(args.requests, seed=args.seed))
+    st = fleet.stats()
+    lines = [
+        f"# chaos-demo: shards={args.shards} requests={args.requests} "
+        f"seed={args.seed} stealing={not args.no_steal}",
+    ]
+    for fault in sched.describe():
+        lines.append(f"fault: {fault}")
+    lines.append(
+        f"responses: {st['responses']}  status: "
+        + " ".join(f"{k}={v}" for k, v in st["status"].items())
+    )
+    d = st.get("defense", {})
+    lines.append(
+        f"defense: hedges={d.get('hedges', 0)} "
+        f"hedge_wins={d.get('hedge_wins', 0)} "
+        f"breaker_opens={d.get('breaker_opens', 0)}"
+    )
+    from .chaos import CHAOS_KINDS
+
+    kinds: dict[str, int] = {}
+    for ev in recorder.events:
+        if ev.kind in CHAOS_KINDS:
+            kinds[ev.kind] = kinds.get(ev.kind, 0) + 1
+    lines.append(
+        "chaos events: "
+        + (" ".join(f"{k}={v}" for k, v in sorted(kinds.items())) or "none")
+    )
+    for line in st["failovers"]:
+        lines.append(f"failover: {line}")
+    if recorder is not None and args.events:
+        from .obs.events import save_events
+
+        save_events(args.events, recorder, name="chaos-demo")
+        lines.append(f"events: {len(recorder)} written to {args.events}")
+    lines += [
+        f"event digest:  {recorder.digest}",
+        f"stream digest: {st['stream_digest']}",
+        f"fleet digest:  {st['fleet_digest']}",
+    ]
+    _emit(lines, args.out)
+
+
 def cmd_fleet_stats(args) -> None:
     """Render a fleet-demo JSON report (per-shard + cache pressure)."""
     import json
@@ -835,6 +918,37 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--trace-out", default=None,
                    help="run-artifact path (default trace_<command>.json)")
     s.set_defaults(func=cmd_fleet_demo, trace_name="fleet-demo")
+
+    s = sub.add_parser(
+        "chaos-demo",
+        help="inject a seeded fault schedule into the defended fleet, "
+             "or sweep the chaos invariants (--check)",
+    )
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--shards", type=int, default=4)
+    s.add_argument("--requests", type=int, default=40)
+    s.add_argument("--horizon", type=int, default=8000,
+                   help="virtual-tick window fault times are drawn in")
+    s.add_argument("--slow-factor", type=int, default=10,
+                   help="straggler slowdown multiplier")
+    s.add_argument("--crashes", type=int, default=1,
+                   help="number of shard crashes to schedule")
+    s.add_argument("--no-steal", action="store_true",
+                   help="disable cross-shard work stealing "
+                        "(also disables handoff faults)")
+    s.add_argument("--cache-mb", type=int, default=8,
+                   help="per-shard L1 byte budget in MiB")
+    s.add_argument("--check", action="store_true",
+                   help="run the chaos invariant sweep instead of a demo")
+    s.add_argument("--seeds", type=int, default=8,
+                   help="isolation-band seeds for --check (default 8)")
+    s.add_argument("--strict", action="store_true",
+                   help="with --check: exit 1 on any invariant breach")
+    s.add_argument("--events", default=None,
+                   help="record the flight-recorder event stream "
+                        "(repro.obs/events.v1) to this path")
+    s.add_argument("--out", default=None)
+    s.set_defaults(func=cmd_chaos_demo, trace_name=None)
 
     s = sub.add_parser("fleet-stats",
                        help="render a fleet-demo JSON report")

@@ -10,6 +10,7 @@ all — runs as a discrete-event simulation on integer virtual clocks
 and is certified by stream digests.
 """
 
+from .defense import BreakerPolicy, CircuitBreaker, HedgePolicy
 from .failover import (
     FailoverEvent,
     ShardCheckpointer,
@@ -26,6 +27,9 @@ from .workload import Arrival, mesh_catalog, synthetic_workload
 __all__ = [
     "HashRing",
     "TierCache",
+    "HedgePolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
     "StealPlan",
     "StealEvent",
     "plan_steals",

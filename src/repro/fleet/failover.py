@@ -63,15 +63,20 @@ def item_doc(item: PendingItem) -> dict:
         "digest": item.digest,
         "t_submit": int(item.t_submit),
         "retries": int(item.retries),
+        "instance": int(item.instance),
+        "hedge": bool(item.hedge),
     }
 
 
-def _arrival_doc(tick: int, request: SolveRequest, retries: int) -> dict:
+def _arrival_doc(tick: int, request: SolveRequest, retries: int,
+                 instance: int, hedge: bool) -> dict:
     return {
         "request": request.to_doc(),
         "digest": request.digest,
         "t_submit": int(tick),
         "retries": int(retries),
+        "instance": int(instance),
+        "hedge": bool(hedge),
     }
 
 
@@ -90,8 +95,11 @@ class ShardLog:
     completed: list[str] = field(default_factory=list)
 
     def record_arrival(self, tick: int, request: SolveRequest,
-                       retries: int = 0) -> None:
-        self.arrivals.append(_arrival_doc(tick, request, retries))
+                       retries: int = 0, *, instance: int = -1,
+                       hedge: bool = False) -> None:
+        self.arrivals.append(
+            _arrival_doc(tick, request, retries, instance, hedge)
+        )
 
     def watermarks(self) -> dict:
         return {

@@ -86,6 +86,29 @@ class HashRing:
                           key=key)
         return owner
 
+    def successors(self, key: str) -> list[str]:
+        """Every live shard in ring order starting at ``key``'s owner.
+
+        The fall-back order for breaker-aware routing and hedged
+        re-dispatch: element 0 is :meth:`route`'s answer, element 1 is
+        the shard that would inherit the key if the owner left the
+        ring, and so on — the same deterministic construction, so any
+        process that builds the same ring walks identically.
+        """
+        if not self._points:
+            return []
+        h = _point(key)
+        i = bisect.bisect_right(self._points, (h, ""))
+        out: list[str] = []
+        n = len(self._points)
+        for k in range(n):
+            sid = self._points[(i + k) % n][1]
+            if sid not in out:
+                out.append(sid)
+                if len(out) == len(self._ids):
+                    break
+        return out
+
     def ownership(self, keys: list[str]) -> dict[str, int]:
         """How many of ``keys`` each shard owns (diagnostics/tests)."""
         out = {sid: 0 for sid in self._ids}

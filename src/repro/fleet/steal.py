@@ -56,7 +56,7 @@ class StealEvent:
 
 def plan_steals(depths: dict[str, int], *, threshold: int,
                 capacity: dict[str, int] | None = None,
-                max_items: int | None = None,
+                max_items: int | None = None, exclude=None,
                 recorder=None, tick: int = 0) -> list[StealPlan]:
     """Plan migrations for the current fleet queue depths.
 
@@ -66,6 +66,11 @@ def plan_steals(depths: dict[str, int], *, threshold: int,
     capacity[dst])`` items; depths are updated between pairings so one
     deep victim can feed several idle shards deterministically.
 
+    ``exclude`` removes shards from the *thief* pool — the fleet passes
+    its open-circuit-breaker set, so an unhealthy shard that happens to
+    have an empty queue (because nothing routes to it) never receives
+    migrated work.
+
     With a flight recorder attached, each victim/thief pairing is
     logged as a ``steal_plan`` event (the per-item migrations become
     ``steal`` events at execution time in the fleet loop).
@@ -74,7 +79,9 @@ def plan_steals(depths: dict[str, int], *, threshold: int,
         raise ValueError("threshold must be >= 1")
     work = dict(depths)
     free = dict(capacity) if capacity else None
-    idle = sorted(sid for sid, d in work.items() if d == 0)
+    banned = frozenset(exclude or ())
+    idle = sorted(sid for sid, d in work.items()
+                  if d == 0 and sid not in banned)
     plans: list[StealPlan] = []
     for dst in idle:
         over = [(d, sid) for sid, d in work.items() if d > threshold]

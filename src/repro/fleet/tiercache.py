@@ -64,6 +64,10 @@ class TierCache:
         self.promotions = 0
         self.demotions = 0
         self.eviction_log: list[str] = []
+        #: fingerprints dropped after failing digest re-verification on
+        #: fetch (a shard's write-through shares the entry object, so
+        #: damage in one tier is visible — and quarantined — in both)
+        self.quarantined: set[str] = set()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -122,6 +126,22 @@ class TierCache:
         self._touch(fp)
         return entry
 
+    def quarantine(self, entry: CacheEntry) -> None:
+        """Drop a corruption-flagged entry from the tier.
+
+        The alias stays (a rebuilt replacement re-publishes under the
+        same fingerprint); the fingerprint is remembered for audit and
+        counted as ``fleet.l2.quarantined``.
+        """
+        fp = entry.fingerprint
+        self.quarantined.add(fp)
+        obs_add("fleet.l2.quarantined", 1)
+        if fp in self._entries:
+            del self._entries[fp]
+            del self._lru[fp]
+            self._pinned.discard(fp)
+        self._publish_gauges()
+
     def publish(self, mesh_digest: str, entry: CacheEntry) -> None:
         """Write-through from a shard's cold build (registers the
         request-side alias)."""
@@ -174,4 +194,5 @@ class TierCache:
             "promotions": self.promotions,
             "demotions": self.demotions,
             "pinned": len(self._pinned),
+            "quarantined": len(self.quarantined),
         }

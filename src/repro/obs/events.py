@@ -73,6 +73,23 @@ EVENTS_SCHEMA_ID = "repro.obs/events.v1"
 #: ``failover_replay`` one in-flight request replayed onto the
 #:                     replacement shard
 #: ``complete``        the response was finalized (status, reason)
+#: ``hedge``           a speculative copy was dispatched to the ring
+#:                     successor (attrs ``src``, ``delay``)
+#: ``hedge_win``       a hedged request completed; the losing copies
+#:                     were cancelled (attr ``cancelled``)
+#: ``breaker_open``    a shard's circuit breaker tripped open
+#:                     (attrs ``failures``, ``window``)
+#: ``breaker_half_open``  cooldown elapsed; the breaker admits one
+#:                     probe request
+#: ``breaker_close``   the half-open probe succeeded; traffic restored
+#: ``shed``            brownout dropped a low-priority item before
+#:                     dispatch (attrs ``depth``, ``priority``)
+#: ``degrade``         an overloaded batch solved at loosened
+#:                     tolerance (attr ``tol_scale``)
+#: ``corrupt_detect``  an artifact failed its content-digest
+#:                     re-verification (attr ``tier``)
+#: ``quarantine``      the corrupted artifact was evicted and its key
+#:                     quarantined pending rebuild
 EVENT_KINDS = (
     "submit",
     "route",
@@ -92,6 +109,15 @@ EVENT_KINDS = (
     "failover",
     "failover_replay",
     "complete",
+    "hedge",
+    "hedge_win",
+    "breaker_open",
+    "breaker_half_open",
+    "breaker_close",
+    "shed",
+    "degrade",
+    "corrupt_detect",
+    "quarantine",
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

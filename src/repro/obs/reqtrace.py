@@ -58,7 +58,8 @@ STAGES = ("admission", "queue", "batch", "build", "cache", "factor", "solve")
 
 #: Batch-scoped event kinds joined into member timelines via ``bid``.
 _BATCH_KINDS = frozenset(
-    {"cache_hit", "cache_miss", "build", "factor", "solve_exec"}
+    {"cache_hit", "cache_miss", "build", "factor", "solve_exec",
+     "corrupt_detect", "quarantine"}
 )
 
 
@@ -141,7 +142,13 @@ def reconstruct(log: EventLog, rid: str) -> RequestTimeline:
         t_admit = enqueues[0].tick
         stages["admission"] = t_admit - t_submit
         if forms:
-            last = forms[-1]
+            # a hedged request can be formed into batches on several
+            # shards; the completion event names the *winning* batch,
+            # and the stage arithmetic must follow that one (it still
+            # telescopes to t_done - t_submit exactly)
+            wbid = done.get("bid")
+            winners = [f for f in forms if wbid and f.get("bid") == wbid]
+            last = winners[-1] if winners else forms[-1]
             bid = last.get("bid")
             t_form = last.tick
             stages["queue"] = t_form - t_admit
@@ -290,7 +297,10 @@ def events_to_chrome(log: EventLog) -> dict:
         })
     for ev in log.events:
         if ev.kind in ("steal", "retry", "reject", "failover",
-                       "failover_replay"):
+                       "failover_replay", "hedge", "hedge_win",
+                       "breaker_open", "breaker_half_open",
+                       "breaker_close", "shed", "degrade",
+                       "corrupt_detect", "quarantine"):
             events.append({
                 "name": ev.kind, "ph": "i", "ts": float(ev.tick), "s": "p",
                 "pid": pid_of(ev.shard), "tid": 0,

@@ -166,6 +166,20 @@ def fleet_health(
             key = tl.shards[-1]
             per_shard[key] = per_shard.get(key, 0) + 1
 
+    # graceful-degradation tallies (PR 9 defenses): how much traffic
+    # was hedged, browned out, or survived artifact corruption
+    hedged = sum(
+        1 for tl in tls if any(ev.kind == "hedge" for ev in tl.events)
+    )
+    shed = sum(1 for tl in tls if tl.reason == "shed")
+    degraded = sum(
+        1 for tl in tls if any(ev.kind == "degrade" for ev in tl.events)
+    )
+    quarantines = sum(1 for ev in log.events if ev.kind == "quarantine")
+    breaker_opens = sum(
+        1 for ev in log.events if ev.kind == "breaker_open"
+    )
+
     return {
         "schema": HEALTH_SCHEMA_ID,
         "name": name,
@@ -182,6 +196,11 @@ def fleet_health(
         "rejected": len(rejected),
         "failed": len(failed),
         "retries": retries,
+        "hedged": hedged,
+        "shed": shed,
+        "degraded": degraded,
+        "quarantines": quarantines,
+        "breaker_opens": breaker_opens,
         "availability": availability,
         "deadline_hit_rate": deadline_hit,
         "per_shard_completed": dict(sorted(per_shard.items())),
@@ -203,6 +222,10 @@ def render_health(doc: dict) -> str:
         f"  requests={doc['requests']} ok={doc['ok']} "
         f"rejected={doc['rejected']} failed={doc['failed']} "
         f"retries={doc['retries']}",
+        f"  degradation: hedged={doc.get('hedged', 0)} "
+        f"shed={doc.get('shed', 0)} degraded={doc.get('degraded', 0)} "
+        f"quarantines={doc.get('quarantines', 0)} "
+        f"breaker_opens={doc.get('breaker_opens', 0)}",
         f"  availability={doc['availability']:.4f}"
         + (
             f"  deadline_hit_rate={doc['deadline_hit_rate']:.4f}"

@@ -156,7 +156,11 @@ def load_checkpoint(path) -> "Checkpoint":
     with span("resilience.ckpt.load") as osp:
         try:
             doc = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                ValueError) as exc:
+            # a torn write can truncate mid-token (JSONDecodeError) or
+            # mid-multibyte character (UnicodeDecodeError) — both are
+            # corruption, not programming errors
             raise CheckpointCorruption(f"{path}: unreadable checkpoint: {exc}")
         if not isinstance(doc, dict) or doc.get("schema") != CKPT_SCHEMA_ID:
             raise CheckpointCorruption(
@@ -221,7 +225,8 @@ def load_state_checkpoint(path) -> "StateCheckpoint":
     with span("resilience.ckpt.load_state") as osp:
         try:
             doc = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                ValueError) as exc:
             raise CheckpointCorruption(f"{path}: unreadable checkpoint: {exc}")
         if not isinstance(doc, dict) or doc.get("schema") != STATE_SCHEMA_ID:
             raise CheckpointCorruption(

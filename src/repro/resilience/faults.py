@@ -36,9 +36,11 @@ __all__ = [
     "RankFailure",
     "MessageCorruption",
     "SolverBreakdown",
+    "ArtifactCorruption",
     "Fault",
     "FaultSchedule",
     "corrupt_buffer",
+    "corrupt_in_place",
 ]
 
 
@@ -82,6 +84,25 @@ class SolverBreakdown(FaultError):
         msg = f"{where}: {reason}"
         if detail:
             msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class ArtifactCorruption(FaultError):
+    """A cached artifact failed its content-digest re-verification.
+
+    Raised by :class:`repro.serve.cache.ArtifactCache` (and the fleet's
+    shared second tier) when an entry's stored arrays no longer hash to
+    the digest computed at build time — bit rot, a torn write, or the
+    chaos harness flipping a byte.  The owning service quarantines the
+    key and rebuilds from scratch.
+    """
+
+    def __init__(self, key: str, tier: str = "l1", detail: str = ""):
+        self.key = key
+        self.tier = tier
+        msg = f"artifact {key[:16]}… failed digest verification ({tier})"
+        if detail:
+            msg += f": {detail}"
         super().__init__(msg)
 
 
@@ -221,3 +242,22 @@ def corrupt_buffer(buf: np.ndarray, key: tuple[int, ...]) -> np.ndarray:
     bit = int(rng.integers(0, 8))
     raw[byte] ^= 1 << bit
     return np.frombuffer(bytes(raw), dtype=arr.dtype).reshape(arr.shape)
+
+
+def corrupt_in_place(buf: np.ndarray, key: tuple[int, ...]) -> tuple[int, int]:
+    """Deterministically flip one bit of ``buf`` *in place*.
+
+    The chaos harness uses this to damage a live cached artifact (a
+    shared array object the cache is already serving) rather than a
+    message copy; returns the (byte, bit) flipped so the injection is
+    auditable.
+    """
+    arr = np.asarray(buf)
+    if arr.nbytes == 0:
+        return (0, 0)
+    rng = np.random.default_rng(list(key))
+    byte = int(rng.integers(0, arr.nbytes))
+    bit = int(rng.integers(0, 8))
+    flat = arr.view(np.uint8).reshape(-1)
+    flat[byte] ^= np.uint8(1 << bit)
+    return (byte, bit)

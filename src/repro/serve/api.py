@@ -273,11 +273,13 @@ def solution_digest(u: np.ndarray) -> str:
 class SolveResponse:
     """Outcome of one request (schema ``repro.serve/resp.v1``).
 
-    ``status`` is ``"ok"``, ``"rejected"`` (admission control or
-    deadline — see :class:`Rejected`) or ``"failed"`` (the solver gave
-    up: ``maxiter`` or ``retries_exhausted``).  Timestamps are virtual
-    scheduler ticks, so they — and therefore :attr:`digest` — are
-    bit-reproducible across runs and machines.
+    ``status`` is ``"ok"``, ``"rejected"`` (admission control,
+    deadline, or brownout shedding — see :class:`Rejected`) or
+    ``"failed"`` (the solver gave up: ``maxiter`` or
+    ``retries_exhausted``).  ``degraded`` marks a brownout solve that
+    ran at loosened tolerance to protect deadlines under overload.
+    Timestamps are virtual scheduler ticks, so they — and therefore
+    :attr:`digest` — are bit-reproducible across runs and machines.
     """
 
     request_digest: str
@@ -293,6 +295,7 @@ class SolveResponse:
     t_start: int = 0
     t_done: int = 0
     retries: int = 0
+    degraded: bool = False
 
     def to_doc(self) -> dict:
         doc = {"schema": RESP_SCHEMA_ID}
@@ -318,11 +321,12 @@ class SolveResponse:
 class Rejected(SolveResponse):
     """Typed backpressure response: the request was never solved.
 
-    ``reason`` is ``"queue_full"`` (bounded admission) or
+    ``reason`` is ``"queue_full"`` (bounded admission),
     ``"deadline_exceeded"`` (the scheduler could not dispatch the
-    request before its deadline).  Being a :class:`SolveResponse`
-    subclass, rejections flow through the same response stream and
-    stream digest as successful solves.
+    request before its deadline) or ``"shed"`` (deadline-aware
+    brownout dropped the item under overload).  Being a
+    :class:`SolveResponse` subclass, rejections flow through the same
+    response stream and stream digest as successful solves.
     """
 
     def __init__(self, request_digest: str, reason: str, *, pde: str = "",

@@ -99,7 +99,8 @@ class _PoissonFactor:
             + self.Aff.indptr.nbytes + self.b_unit.nbytes + self.lift.nbytes
         )
 
-    def solve(self, requests: list[SolveRequest]) -> BatchOutcome:
+    def solve(self, requests: list[SolveRequest],
+              tol_scale: float = 1.0) -> BatchOutcome:
         k = len(requests)
         fs = np.array([r.f for r in requests])
         gs = np.array([r.g for r in requests])
@@ -111,7 +112,9 @@ class _PoissonFactor:
             self.b_unit[self.free, None] * fs[None, :]
             - self.lift[:, None] * gs[None, :]
         )
-        rtol = requests[0].tol  # equal across the batch (in the batch key)
+        # equal across the batch (in the batch key); brownout loosens
+        # it uniformly via tol_scale
+        rtol = min(requests[0].tol * tol_scale, 1e-2)
         res = cg(self.Aff, B, M=self.M, rtol=rtol, atol=1e-14,
                  maxiter=20 * len(self.free))
         bad = [r for r in res.col_reasons if r in ("breakdown", "nonfinite")]
@@ -158,7 +161,8 @@ class _SbmFactor:
             + self.b_unit.nbytes + self.bs_unit.nbytes + self.lift.nbytes
         )
 
-    def solve(self, requests: list[SolveRequest]) -> BatchOutcome:
+    def solve(self, requests: list[SolveRequest],
+              tol_scale: float = 1.0) -> BatchOutcome:
         k = len(requests)
         fs = np.array([r.f for r in requests])
         gs = np.array([r.g for r in requests])
@@ -213,7 +217,8 @@ class _TransportFactor:
             + 16 * int(self.problem._lu.nnz) + self.b_unit.nbytes
         )
 
-    def solve(self, requests: list[SolveRequest]) -> BatchOutcome:
+    def solve(self, requests: list[SolveRequest],
+              tol_scale: float = 1.0) -> BatchOutcome:
         k = len(requests)
         fs = np.array([r.f for r in requests])
         prob = self.problem
@@ -270,7 +275,8 @@ class _AmrFactor:
             + self.mesh.leaves.levels.nbytes
         )
 
-    def solve(self, requests: list[SolveRequest]) -> BatchOutcome:
+    def solve(self, requests: list[SolveRequest],
+              tol_scale: float = 1.0) -> BatchOutcome:
         k = len(requests)
         fs = np.array([r.f for r in requests])
         U = self.u_unit[:, None] * fs[None, :]
@@ -303,14 +309,16 @@ def ensure_factor(entry: CacheEntry, request: SolveRequest):
 
 
 def solve_batch(factor, requests: list[SolveRequest],
-                emit=None) -> BatchOutcome:
+                emit=None, tol_scale: float = 1.0) -> BatchOutcome:
     """Solve one batch through its cached factor (one multi-RHS block).
 
     ``emit`` is the flight-recorder hook: when the owning service
     records events, it passes a callback that turns the batch execution
-    into one ``solve_exec`` event (columns, matvecs, pde)."""
+    into one ``solve_exec`` event (columns, matvecs, pde).
+    ``tol_scale > 1`` is the brownout degrade path: iterative members
+    stop at a loosened tolerance (direct factors are unaffected)."""
     with span("serve.solve", pde=factor.kind) as osp:
-        out = factor.solve(requests)
+        out = factor.solve(requests, tol_scale=tol_scale)
         osp.add("columns", len(requests))
         osp.add("matvecs", out.matvecs)
     if emit is not None:

@@ -40,12 +40,15 @@ shared second tier instead of being dropped.
 
 from __future__ import annotations
 
+import hashlib
+
 import scipy.sparse as sp
 
 from ..obs import add as obs_add
 from ..obs import set_gauge
+from ..resilience.faults import ArtifactCorruption
 
-__all__ = ["CacheEntry", "ArtifactCache"]
+__all__ = ["CacheEntry", "ArtifactCache", "ArtifactCorruption"]
 
 
 def _obj_nbytes(obj) -> int:
@@ -71,17 +74,35 @@ def _entry_base_nbytes(mesh, ctx) -> int:
     return int(total)
 
 
+def _entry_content_digest(mesh, ctx) -> str:
+    """sha256 over the entry's base arrays — its birth certificate.
+
+    Covers exactly the data a corrupted artifact would damage: the leaf
+    octants, nodal coordinates and the operator context's per-node
+    metadata.  Factors are rebuilt from these, so verifying the base is
+    what guards every downstream solve.
+    """
+    h = hashlib.sha256()
+    for arr in (mesh.leaves.anchors, mesh.leaves.levels,
+                mesh.nodes.coords, ctx.h, ctx.levels):
+        h.update(f"{arr.dtype.str}|{arr.shape}|".encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
 class CacheEntry:
     """One discretization's artifacts: mesh + operator context + factors.
 
     ``factors`` maps a solver-parameter digest
     (:attr:`repro.serve.api.SolveRequest.batch_key`) to a factor object
     built by :mod:`repro.serve.batcher`; each factor reports its own
-    byte estimate so the cache can account for it.
+    byte estimate so the cache can account for it.  ``content_digest``
+    is sealed at construction; :meth:`verify` recomputes it so every
+    cache get can prove the artifact is still the one that was built.
     """
 
     __slots__ = ("fingerprint", "mesh", "ctx", "factors", "_factor_nbytes",
-                 "_base_nbytes")
+                 "_base_nbytes", "content_digest")
 
     def __init__(self, fingerprint: str, mesh, ctx):
         self.fingerprint = fingerprint
@@ -90,6 +111,7 @@ class CacheEntry:
         self.factors: dict[str, object] = {}
         self._factor_nbytes: dict[str, int] = {}
         self._base_nbytes = _entry_base_nbytes(mesh, ctx)
+        self.content_digest = _entry_content_digest(mesh, ctx)
 
     def add_factor(self, key: str, factor, nbytes: int) -> None:
         self.factors[key] = factor
@@ -98,6 +120,16 @@ class CacheEntry:
     @property
     def nbytes(self) -> int:
         return self._base_nbytes + sum(self._factor_nbytes.values())
+
+    def verify(self, *, tier: str = "l1") -> None:
+        """Recompute the content digest; raise on mismatch."""
+        actual = _entry_content_digest(self.mesh, self.ctx)
+        if actual != self.content_digest:
+            raise ArtifactCorruption(
+                self.fingerprint, tier=tier,
+                detail=f"stored {self.content_digest[:12]}… "
+                       f"recomputed {actual[:12]}…",
+            )
 
 
 class ArtifactCache:
@@ -118,6 +150,10 @@ class ArtifactCache:
         self.eviction_log: list[str] = []
         #: observer called with each evicted entry (fleet demotion hook)
         self.on_evict = None
+        #: fingerprints whose entries failed digest re-verification —
+        #: evicted, counted (``serve.cache.quarantined``) and remembered
+        #: so operators can audit which artifacts went bad
+        self.quarantined: set[str] = set()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -130,18 +166,51 @@ class ArtifactCache:
         self._seq += 1
         self._lru[entry.fingerprint] = self._seq
 
+    def peek(self, mesh_digest: str) -> CacheEntry | None:
+        """Resolve without touching LRU state or hit/miss counters —
+        the inspection hook the chaos harness uses to find (and damage)
+        a live entry without perturbing cache determinism."""
+        fp = self._alias.get(mesh_digest)
+        return self._entries.get(fp) if fp is not None else None
+
     def lookup(self, mesh_digest: str) -> CacheEntry | None:
-        """Resolve a request-side mesh digest; publishes hit/miss."""
+        """Resolve a request-side mesh digest; publishes hit/miss.
+
+        Every hit re-verifies the entry's content digest.  A mismatch
+        evicts + quarantines the artifact and raises
+        :class:`ArtifactCorruption` — the owning service treats it as a
+        miss and rebuilds, so a flipped byte costs one rebuild, never a
+        wrong solve.
+        """
         fp = self._alias.get(mesh_digest)
         entry = self._entries.get(fp) if fp is not None else None
         if entry is None:
             self.misses += 1
             obs_add("serve.cache.misses", 1, **self._labels)
             return None
+        try:
+            entry.verify()
+        except ArtifactCorruption:
+            self.misses += 1
+            obs_add("serve.cache.misses", 1, **self._labels)
+            self.quarantine(entry)
+            raise
         self.hits += 1
         obs_add("serve.cache.hits", 1, **self._labels)
         self._touch(entry)
         return entry
+
+    def quarantine(self, entry: CacheEntry) -> None:
+        """Evict a corrupted entry and remember its fingerprint.
+
+        The eviction bypasses ``on_evict`` — a corrupted artifact must
+        never be demoted into the shared second tier.
+        """
+        self.quarantined.add(entry.fingerprint)
+        obs_add("serve.cache.quarantined", 1, **self._labels)
+        if entry.fingerprint in self._entries:
+            self._evict(entry, demote=False)
+        self._publish_gauges()
 
     def insert(self, mesh_digest: str, entry: CacheEntry) -> CacheEntry:
         """Insert (or re-alias to an existing fingerprint) and enforce
@@ -181,7 +250,7 @@ class ArtifactCache:
             self._evict(victim)
         self._publish_gauges()
 
-    def _evict(self, entry: CacheEntry) -> None:
+    def _evict(self, entry: CacheEntry, demote: bool = True) -> None:
         del self._entries[entry.fingerprint]
         del self._lru[entry.fingerprint]
         for k in [k for k, fp in self._alias.items()
@@ -189,7 +258,7 @@ class ArtifactCache:
             del self._alias[k]
         self.eviction_log.append(entry.fingerprint)
         obs_add("serve.cache.evictions", 1, **self._labels)
-        if self.on_evict is not None:
+        if demote and self.on_evict is not None:
             self.on_evict(entry)
 
     def _publish_gauges(self) -> None:
@@ -205,4 +274,5 @@ class ArtifactCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": len(self.eviction_log),
+            "quarantined": len(self.quarantined),
         }

@@ -29,6 +29,14 @@ Mechanics, all bounded and typed:
   re-queued ``backoff * 2**retries`` ticks into the virtual future (up
   to ``max_retries``); the clock jumps forward when only backed-off
   work remains.
+* **Deadline-aware brownout** — under overload (queue depth past a
+  watermark) or external pressure (open circuit breakers upstream),
+  :meth:`Scheduler.shed_overload` drops the lowest-priority tail of
+  the dispatch order instead of letting queue wait blow every
+  deadline, and :meth:`BrownoutPolicy.degrades` loosens solve
+  tolerances for the batches that remain.  Both knobs live in
+  :class:`BrownoutPolicy` and both decisions are pure functions of
+  (queue state, policy), so browned-out runs stay bit-reproducible.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ __all__ = [
     "VirtualClock",
     "PendingItem",
     "Scheduler",
+    "BrownoutPolicy",
     "cost_build",
     "cost_factor",
     "cost_solve",
@@ -94,7 +103,15 @@ class VirtualClock:
 
 @dataclass
 class PendingItem:
-    """One admitted request waiting for dispatch."""
+    """One admitted request waiting for dispatch.
+
+    ``instance`` is the fleet-assigned delivery id used for
+    exactly-once accounting when a request has more than one live copy
+    (hedging, duplicated handoffs, fail-over replay); ``-1`` for bare
+    services that never duplicate.  ``hedge`` marks a speculative copy:
+    it never expires — the primary owns the deadline — and its
+    completion only counts if it wins the race.
+    """
 
     request: SolveRequest
     digest: str
@@ -102,14 +119,48 @@ class PendingItem:
     seq: int
     not_before: int = 0
     retries: int = 0
+    instance: int = -1
+    hedge: bool = False
 
     @property
     def sort_key(self) -> tuple:
         return (self.request.priority, self.digest, self.seq)
 
     def expired(self, now: int) -> bool:
+        if self.hedge:
+            return False
         d = self.request.deadline
         return d is not None and now >= self.t_submit + d
+
+
+@dataclass(frozen=True)
+class BrownoutPolicy:
+    """Knobs for deadline-aware load shedding and solve degradation.
+
+    ``shed_depth`` is the queue-depth watermark past which the
+    dispatch-order tail sheds; under ``pressure`` (open breakers
+    upstream concentrating traffic here) the tighter
+    ``pressure_depth`` applies instead.  Only items with
+    ``priority >= shed_priority`` are sheddable — latency-critical
+    low-priority-number work is never dropped.  ``degrade_depth`` is
+    the depth at batch formation past which solves run at
+    ``tol * degrade_tol_factor`` and responses carry
+    ``degraded=True``.
+    """
+
+    shed_depth: int = 24
+    pressure_depth: int = 12
+    shed_priority: int = 2
+    degrade_depth: int = 12
+    degrade_tol_factor: float = 1e3
+
+    def depth_limit(self, *, pressure: bool = False) -> int:
+        return self.pressure_depth if pressure else self.shed_depth
+
+    def degrades(self, depth: int, *, pressure: bool = False) -> bool:
+        return depth > self.degrade_depth or (
+            pressure and depth > self.degrade_depth // 2
+        )
 
 
 class Scheduler:
@@ -138,7 +189,8 @@ class Scheduler:
         return len(self.pending)
 
     def submit(self, request: SolveRequest, clock: VirtualClock, *,
-               t_submit: int | None = None) -> PendingItem | None:
+               t_submit: int | None = None, instance: int = -1,
+               hedge: bool = False) -> PendingItem | None:
         """Admit a request; None means the queue is full (backpressure).
 
         ``t_submit`` overrides the recorded submission tick — the fleet
@@ -153,6 +205,7 @@ class Scheduler:
             request=request, digest=request.digest,
             t_submit=clock.now if t_submit is None else int(t_submit),
             seq=self._seq, not_before=clock.now,
+            instance=int(instance), hedge=bool(hedge),
         )
         self.pending.append(item)
         if self.recorder is not None:
@@ -165,21 +218,62 @@ class Scheduler:
 
     def adopt(self, request: SolveRequest, clock: VirtualClock, *,
               t_submit: int, retries: int = 0,
-              not_before: int | None = None) -> PendingItem | None:
+              not_before: int | None = None, instance: int = -1,
+              hedge: bool = False) -> PendingItem | None:
         """Admit an item that already lived on another scheduler.
 
-        Used by cross-shard work stealing and checkpointed fail-over
-        replay: the original submission tick and retry count are
-        preserved (latency and retry budgets carry over), only the
+        Used by cross-shard work stealing, hedged re-dispatch and
+        checkpointed fail-over replay: the original submission tick,
+        retry count and delivery instance are preserved (latency,
+        retry budgets and exactly-once identity carry over), only the
         dispatch sequence number is local.
         """
-        item = self.submit(request, clock, t_submit=t_submit)
+        item = self.submit(request, clock, t_submit=t_submit,
+                           instance=instance, hedge=hedge)
         if item is None:
             return None
         item.retries = int(retries)
         if not_before is not None:
             item.not_before = max(item.not_before, int(not_before))
         return item
+
+    def cancel_instance(self, instance: int) -> list[PendingItem]:
+        """Remove every still-queued copy of a delivery instance (the
+        losers of a hedge race).  In-flight copies — already popped
+        into a dispatched batch — are not reachable here; the owning
+        service suppresses their completion instead."""
+        if instance < 0:
+            return []
+        gone = [it for it in self.pending if it.instance == instance]
+        for it in gone:
+            self.pending.remove(it)
+        return gone
+
+    def shed_overload(self, clock: VirtualClock, policy: BrownoutPolicy,
+                      *, pressure: bool = False) -> list[PendingItem]:
+        """Brownout: pop the sheddable dispatch-order tail while the
+        queue sits past the policy's depth watermark.
+
+        Returns the shed items (the service finalizes each as a typed
+        ``rejected/shed`` response).  Hedge copies are never shed here
+        — cancelling them is the hedging layer's call — and items
+        below ``shed_priority`` are protected.  Purely a function of
+        (queue state, policy, pressure flag), hence deterministic.
+        """
+        limit = policy.depth_limit(pressure=pressure)
+        if len(self.pending) <= limit:
+            return []
+        sheddable = sorted(
+            (it for it in self.pending
+             if not it.hedge and it.request.priority >= policy.shed_priority),
+            key=lambda it: it.sort_key,
+        )
+        out: list[PendingItem] = []
+        while sheddable and len(self.pending) > limit:
+            it = sheddable.pop()
+            self.pending.remove(it)
+            out.append(it)
+        return out
 
     def steal_items(self, n: int, now: int) -> list[PendingItem]:
         """Remove up to ``n`` pending items for migration to another

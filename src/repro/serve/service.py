@@ -30,11 +30,12 @@ from ..obs import Histogram
 from ..obs import add as obs_add
 from ..obs import observe as obs_observe
 from ..obs import set_gauge, span
-from ..resilience.faults import SolverBreakdown
+from ..resilience.faults import ArtifactCorruption, SolverBreakdown
 from .api import Rejected, SolveRequest, SolveResponse
 from .batcher import build_entry, ensure_factor, solve_batch
 from .cache import ArtifactCache
 from .scheduler import (
+    BrownoutPolicy,
     PendingItem,
     Scheduler,
     VirtualClock,
@@ -61,14 +62,17 @@ class SolverService:
                  max_pending: int = 128, max_batch: int = 8,
                  max_retries: int = 2, backoff: int = 1000,
                  fault_injector=None, name: str | None = None,
-                 recorder=None):
+                 recorder=None, brownout: BrownoutPolicy | None = None,
+                 clock: VirtualClock | None = None):
         self.name = name
         self.cache = ArtifactCache(cache_bytes, name=name)
         self.scheduler = Scheduler(
             max_pending=max_pending, max_batch=max_batch,
             max_retries=max_retries, backoff=backoff,
         )
-        self.clock = VirtualClock()
+        #: the fleet's chaos harness substitutes a slowdown-scaling
+        #: clock here; default is the plain monotonic tick counter
+        self.clock = VirtualClock() if clock is None else clock
         self.fault_injector = fault_injector
         self.responses: list[SolveResponse] = []
         self.latency = Histogram()
@@ -88,6 +92,18 @@ class SolverService:
         #: observer called with every finalized response — the fleet
         #: layer hangs its durable completion log and digests here
         self.on_response = None
+        #: deadline-aware brownout policy (None = never shed/degrade)
+        self.brownout = brownout
+        #: external overload signal (the fleet raises it while circuit
+        #: breakers are open and survivors absorb rerouted traffic)
+        self.pressure = False
+        #: exactly-once hook: ``completion_guard(item, kind)`` is
+        #: consulted before any terminal disposition of a pending item
+        #: (kind ∈ solve/failed/expire/shed — mark-if-first — or retry
+        #: — peek only).  Returning False suppresses the response
+        #: silently: the item's delivery instance already completed on
+        #: another shard (hedge race, duplicated handoff).
+        self.completion_guard = None
 
     # -- submission ------------------------------------------------------
 
@@ -97,6 +113,19 @@ class SolverService:
         :class:`Rejected` (already finalized into the stream) when the
         queue is full.  ``t_submit`` overrides the recorded submission
         tick (fleet arrivals trail the shard clock when it is busy)."""
+        _, rejected = self.submit_item(request, t_submit=t_submit)
+        return rejected
+
+    def submit_item(self, request: SolveRequest, *,
+                    t_submit: int | None = None, instance: int = -1
+                    ) -> tuple[PendingItem | None, SolveResponse | None]:
+        """:meth:`submit` variant returning the admitted pending item.
+
+        The fleet uses the item handle for hedging and exactly-once
+        bookkeeping; ``instance`` is the fleet-assigned delivery id.
+        Returns ``(item, None)`` on admission or ``(None, rejected)``
+        on backpressure.
+        """
         request.validate()
         arrival = self.clock.now if t_submit is None else int(t_submit)
         if self.recorder is not None:
@@ -105,7 +134,8 @@ class SolverService:
                 pde=request.pde, priority=request.priority,
                 deadline=request.deadline,
             )
-        item = self.scheduler.submit(request, self.clock, t_submit=t_submit)
+        item = self.scheduler.submit(request, self.clock,
+                                     t_submit=t_submit, instance=instance)
         if item is None:
             if self.recorder is not None:
                 self.recorder.emit(
@@ -118,14 +148,14 @@ class SolverService:
                 t_submit=arrival, t_done=self.clock.now,
             )
             self._finalize(rej)
-            return rej
+            return None, rej
         if self.recorder is not None:
             self.recorder.emit(
                 "admit", request.digest, tick=self.clock.now,
                 shard=self.name, depth=self.scheduler.depth,
             )
         set_gauge("serve.queue_depth", self.scheduler.depth)
-        return None
+        return item, None
 
     # -- the serving loop ------------------------------------------------
 
@@ -136,8 +166,16 @@ class SolverService:
         stepping each one batch at a time; :meth:`drain` is just
         ``step`` until empty."""
         done: list[SolveResponse] = []
+        shed: list[PendingItem] = []
+        if self.brownout is not None:
+            shed = self.scheduler.shed_overload(
+                self.clock, self.brownout, pressure=self.pressure
+            )
         batch, expired = self.scheduler.next_batch(self.clock)
         for it in expired:
+            if (self.completion_guard is not None
+                    and not self.completion_guard(it, "expire")):
+                continue
             if self.recorder is not None:
                 self.recorder.emit(
                     "reject", it.digest, tick=self.clock.now,
@@ -146,6 +184,22 @@ class SolverService:
                 )
             done.append(self._finalize(Rejected(
                 it.digest, "deadline_exceeded", pde=it.request.pde,
+                t_submit=it.t_submit, t_done=self.clock.now,
+                retries=it.retries,
+            )))
+        for it in shed:
+            if (self.completion_guard is not None
+                    and not self.completion_guard(it, "shed")):
+                continue
+            if self.recorder is not None:
+                self.recorder.emit(
+                    "shed", it.digest, tick=self.clock.now,
+                    shard=self.name, depth=self.scheduler.depth,
+                    priority=it.request.priority,
+                )
+            obs_add("serve.shed", 1)
+            done.append(self._finalize(Rejected(
+                it.digest, "shed", pde=it.request.pde,
                 t_submit=it.t_submit, t_done=self.clock.now,
                 retries=it.retries,
             )))
@@ -176,7 +230,7 @@ class SolverService:
         the miss and the build.  ``bid`` is the dispatching batch's id;
         cache/build events are batch-scoped and join every member's
         timeline through it."""
-        entry = self.cache.lookup(request.mesh_digest)
+        entry = self._lookup_verified(request, bid)
         if entry is not None:
             if self.recorder is not None:
                 self.recorder.emit(
@@ -200,11 +254,40 @@ class SolverService:
             )
         return self.cache.insert(request.mesh_digest, entry), False
 
+    def _lookup_verified(self, request: SolveRequest, bid: str = ""):
+        """L1 lookup that degrades a digest-verification failure into a
+        miss: the corrupted entry is already evicted + quarantined by
+        the cache; we record the detection and fall through to a
+        rebuild, so corruption costs one rebuild, never a wrong
+        solution."""
+        try:
+            return self.cache.lookup(request.mesh_digest)
+        except ArtifactCorruption as exc:
+            if self.recorder is not None:
+                self.recorder.emit(
+                    "corrupt_detect", request.digest, tick=self.clock.now,
+                    shard=self.name, bid=bid, tier=exc.tier,
+                    key=exc.key,
+                )
+                self.recorder.emit(
+                    "quarantine", request.digest, tick=self.clock.now,
+                    shard=self.name, bid=bid, key=exc.key,
+                )
+            return None
+
     def _run_batch(self, batch: list[PendingItem]) -> list[SolveResponse]:
         req0 = batch[0].request
         out: list[SolveResponse] = []
         self._batch_seq += 1
         bid = f"{self.name or 'serve'}#b{self._batch_seq}"
+        # brownout degrade decision at batch formation: queue depth
+        # (batch included) past the watermark, or external pressure
+        degraded = False
+        tol_scale = 1.0
+        if self.brownout is not None and self.brownout.degrades(
+                self.scheduler.depth + len(batch), pressure=self.pressure):
+            degraded = True
+            tol_scale = self.brownout.degrade_tol_factor
         with span("serve.batch", pde=req0.pde) as bsp:
             t_start = self.clock.now
             if self.recorder is not None:
@@ -213,6 +296,14 @@ class SolverService:
                         "batch_form", it.digest, tick=t_start,
                         shard=self.name, bid=bid, size=len(batch),
                     )
+                if degraded:
+                    for it in batch:
+                        self.recorder.emit(
+                            "degrade", it.digest, tick=t_start,
+                            shard=self.name, bid=bid, tol_scale=tol_scale,
+                        )
+            if degraded:
+                obs_add("serve.degraded", len(batch))
             entry, hit = self._resolve_entry(req0, bid)
             factor, built = ensure_factor(entry, req0)
             if built:
@@ -242,7 +333,8 @@ class SolverService:
                             shard=self.name, bid=bid,
                         )
                 outcome = solve_batch(
-                    factor, [it.request for it in batch], emit=emit
+                    factor, [it.request for it in batch], emit=emit,
+                    tol_scale=tol_scale,
                 )
             except SolverBreakdown as exc:
                 bsp.event("solver_breakdown",
@@ -257,6 +349,9 @@ class SolverService:
             self.batches += 1
             self.batched_requests += len(batch)
             for j, it in enumerate(batch):
+                if (self.completion_guard is not None
+                        and not self.completion_guard(it, "solve")):
+                    continue  # a copy already won the hedge race
                 reason = outcome.reasons[j]
                 status = "ok" if reason in ("converged", "direct") else "failed"
                 resp = SolveResponse(
@@ -268,8 +363,9 @@ class SolverService:
                     solution_digest=outcome.digest(j),
                     t_submit=it.t_submit, t_start=t_start,
                     t_done=self.clock.now, retries=it.retries,
+                    degraded=degraded,
                 )
-                out.append(self._finalize(resp))
+                out.append(self._finalize(resp, bid=bid))
         return out
 
     def _handle_breakdown(self, batch: list[PendingItem]
@@ -279,6 +375,9 @@ class SolverService:
         out = []
         for it in batch:
             if it.retries >= self.scheduler.max_retries:
+                if (self.completion_guard is not None
+                        and not self.completion_guard(it, "failed")):
+                    continue
                 out.append(self._finalize(SolveResponse(
                     request_digest=it.digest, status="failed",
                     pde=it.request.pde, reason="retries_exhausted",
@@ -286,6 +385,9 @@ class SolverService:
                     t_done=self.clock.now, retries=it.retries,
                 )))
             else:
+                if (self.completion_guard is not None
+                        and not self.completion_guard(it, "retry")):
+                    continue  # instance already completed elsewhere
                 self.scheduler.requeue(it, self.clock)
                 obs_add("serve.retries", 1)
         set_gauge("serve.queue_depth", self.scheduler.depth)
@@ -293,13 +395,15 @@ class SolverService:
 
     # -- response stream -------------------------------------------------
 
-    def _finalize(self, resp: SolveResponse) -> SolveResponse:
+    def _finalize(self, resp: SolveResponse,
+                  bid: str = "") -> SolveResponse:
         if self.recorder is not None:
             self.recorder.emit(
                 "complete", resp.request_digest, tick=resp.t_done,
                 shard=self.name, status=resp.status, reason=resp.reason,
                 t_submit=resp.t_submit, retries=resp.retries,
-                pde=resp.pde, batch_size=resp.batch_size,
+                pde=resp.pde, batch_size=resp.batch_size, bid=bid,
+                degraded=resp.degraded,
             )
         self.responses.append(resp)
         self._stream.update(resp.digest.encode())
