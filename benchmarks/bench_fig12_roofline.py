@@ -10,9 +10,14 @@ while data scales as O((p+1)^d) — is asserted.
 
 import pytest
 
-from repro import Domain, build_mesh
-from repro.analysis import analyze_kernel, roofline_ceilings
+from repro import Domain, build_mesh, obs
+from repro.analysis import (
+    analyze_kernel,
+    measured_kernel_points,
+    roofline_ceilings,
+)
 from repro.geometry import BoxRetain, SphereCarve
+from repro.kernels import available_backends, backend_names
 
 from _util import ResultTable
 
@@ -30,6 +35,26 @@ def run_roofline():
             pt = analyze_kernel(mesh)
             points.append((name, pt))
     return points
+
+
+def run_backend_columns():
+    """Per-backend achieved kernel rates on the sphere p=1 mesh,
+    measured through the repro.kernels facade counters."""
+    dom_s = Domain(SphereCarve([5.0, 5.0, 5.0], 0.5), scale=10.0)
+    mesh = build_mesh(dom_s, 4, 7, p=1)
+    avail = available_backends()
+    rows = []
+    obs.reset()
+    obs.enable()
+    try:
+        for name in backend_names():
+            if not avail[name]:
+                continue
+            analyze_kernel(mesh, repeats=3, backend=name)
+        rows = measured_kernel_points()
+    finally:
+        obs.disable()
+    return rows
 
 
 def test_fig12_roofline(benchmark):
@@ -53,7 +78,20 @@ def test_fig12_roofline(benchmark):
         by_p[pt.p].append(pt)
     t.row("paper: AI 0.072 (linear) / 0.121 (quadratic); achieved "
           "~4 / ~7 GFLOP/s — memory bound")
+    # measured per-kernel per-backend achieved rates (repro.kernels
+    # facade counters) — the achieved half of predicted-vs-achieved
+    t.row(f"{'kernel':>12} {'backend':>8} {'AI (meas)':>10} "
+          f"{'achieved GF/s':>14} {'frac-of-peak':>13}")
+    measured = run_backend_columns()
+    for m in measured:
+        t.row(f"{m.kernel:>12} {m.backend:>8} "
+              f"{m.arithmetic_intensity:>10.3f} "
+              f"{m.achieved_gflops / 1e9:>14.3f} "
+              f"{m.fraction_of_peak:>13.4f}")
+        t.record(column="measured_kernel", **m.to_doc())
     t.save()
+    assert measured, "kernel facade published no measured counters"
+    assert all(0.0 <= m.fraction_of_peak <= 1.5 for m in measured)
     ai1 = by_p[1][0].arithmetic_intensity
     ai2 = by_p[2][0].arithmetic_intensity
     assert ai2 > ai1, "AI must grow with polynomial order"

@@ -8,7 +8,13 @@ from .drag import (
     morrison_cd,
     schiller_naumann_cd,
 )
-from .roofline import RooflinePoint, analyze_kernel, roofline_ceilings
+from .roofline import (
+    MeasuredKernel,
+    RooflinePoint,
+    analyze_kernel,
+    measured_kernel_points,
+    roofline_ceilings,
+)
 
 __all__ = [
     "observed_rates",
@@ -18,7 +24,9 @@ __all__ = [
     "ACHENBACH_ANCHORS",
     "CYLINDER_CD_REFERENCE",
     "drag_from_faces",
+    "MeasuredKernel",
     "RooflinePoint",
     "analyze_kernel",
+    "measured_kernel_points",
     "roofline_ceilings",
 ]

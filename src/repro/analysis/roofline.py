@@ -19,6 +19,7 @@ O(d (p+1)^(d+1)) — the paper's explanation, reproduced quantitatively.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 
@@ -28,7 +29,13 @@ from ..core.matvec import MapBasedMatVec
 from ..core.mesh import IncompleteMesh
 from ..parallel.perfmodel import FRONTERA, MachineModel
 
-__all__ = ["RooflinePoint", "analyze_kernel", "roofline_ceilings"]
+__all__ = [
+    "MeasuredKernel",
+    "RooflinePoint",
+    "analyze_kernel",
+    "measured_kernel_points",
+    "roofline_ceilings",
+]
 
 
 @dataclass
@@ -72,16 +79,24 @@ def analyze_kernel(
     mesh: IncompleteMesh,
     machine: MachineModel = FRONTERA,
     repeats: int = 5,
+    backend: str | None = None,
 ) -> RooflinePoint:
-    """Place the mesh's Poisson elemental kernel on the roofline."""
+    """Place the mesh's Poisson elemental kernel on the roofline.
+
+    ``backend`` selects the :mod:`repro.kernels` backend the timed
+    applies execute under (None = the session default).
+    """
+    from ..kernels import use_backend
+
     p, dim = mesh.p, mesh.dim
     mv = MapBasedMatVec(mesh)
     u = np.linspace(0.0, 1.0, mesh.n_nodes)
-    mv(u)  # warm up
-    t0 = time.perf_counter()
-    for _ in range(repeats):
-        mv(u)
-    dt = (time.perf_counter() - t0) / repeats
+    with use_backend(backend):
+        mv(u)  # warm up
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            mv(u)
+        dt = (time.perf_counter() - t0) / repeats
     dense_flops = mv.flops()
     tens_flops = tensorised_apply_flops(p, dim) * mesh.n_elem
     depth = float(mesh.leaves.levels.mean())
@@ -112,3 +127,105 @@ def roofline_ceilings(
         "peak_flops": peak_gflops,
         "ridge_ai": peak_gflops / machine.mem_bw,
     }
+
+
+@dataclass
+class MeasuredKernel:
+    """One kernel × backend cell measured by the :mod:`repro.kernels`
+    facade counters — the *achieved* side of predicted-vs-achieved."""
+
+    kernel: str
+    backend: str
+    calls: int
+    flops: float
+    bytes: float
+    seconds: float
+    arithmetic_intensity: float    # flops / bytes (measured)
+    achieved_gflops: float         # flops / seconds
+    roofline_gflops: float         # min(peak, AI × mem_bw)
+    fraction_of_peak: float        # achieved / roofline ceiling
+
+    def to_doc(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+def _parse_counter_key(key: str) -> tuple[str, dict]:
+    """Split a rendered counter key ``name{k="v",...}`` into its base
+    name and label dict (the inverse of the registry's ``_render``)."""
+    if "{" not in key:
+        return key, {}
+    base, _, rest = key.partition("{")
+    labels = {}
+    for part in rest.rstrip("}").split(","):
+        if "=" not in part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k.strip()] = v.strip().strip('"')
+    return base, labels
+
+
+def _counters_of(source) -> dict:
+    """Flat counter dict from a live registry (None), an obs summary /
+    run artifact document, or a JSON artifact path."""
+    if source is None:
+        from ..obs.counters import REGISTRY
+
+        return dict(REGISTRY.snapshot().get("counters", {}))
+    if isinstance(source, str):
+        with open(source) as fh:
+            source = json.load(fh)
+    if isinstance(source, dict):
+        metrics = source.get("metrics", source)
+        return dict(metrics.get("counters", metrics))
+    raise TypeError(f"cannot read kernel counters from {type(source)!r}")
+
+
+def measured_kernel_points(
+    source=None,
+    machine: MachineModel = FRONTERA,
+    peak_flops: float = 86.4e9,
+) -> list[MeasuredKernel]:
+    """Achieved roofline points from the kernel-facade counters.
+
+    ``source`` may be None (the live metrics registry), an obs
+    ``summary()`` / run-artifact document, or a path to a written
+    artifact.  Every ``kernels.*{backend=,kernel=}`` counter family is
+    grouped into one :class:`MeasuredKernel` per (kernel, backend) with
+    measured AI, achieved GFLOP/s, the roofline ceiling at that AI, and
+    the achieved fraction of that ceiling."""
+    counters = _counters_of(source)
+    cells: dict[tuple[str, str], dict] = {}
+    for key, val in counters.items():
+        base, labels = _parse_counter_key(key)
+        if not base.startswith("kernels."):
+            continue
+        field = base.split(".", 1)[1]
+        if field not in ("calls", "flops", "bytes", "seconds"):
+            continue
+        kb = (labels.get("kernel", "?"), labels.get("backend", "?"))
+        cells.setdefault(kb, {})[field] = float(val)
+    out = []
+    for (kernel, backend), c in sorted(cells.items()):
+        flops = c.get("flops", 0.0)
+        nbytes = c.get("bytes", 0.0)
+        secs = c.get("seconds", 0.0)
+        ai = flops / nbytes if nbytes > 0 else 0.0
+        achieved = flops / secs if secs > 0 else 0.0
+        ceiling = min(peak_flops, ai * machine.mem_bw) if ai > 0 else peak_flops
+        out.append(
+            MeasuredKernel(
+                kernel=kernel,
+                backend=backend,
+                calls=int(c.get("calls", 0)),
+                flops=flops,
+                bytes=nbytes,
+                seconds=secs,
+                arithmetic_intensity=ai,
+                achieved_gflops=achieved,
+                roofline_gflops=ceiling,
+                fraction_of_peak=achieved / ceiling if ceiling > 0 else 0.0,
+            )
+        )
+    return out

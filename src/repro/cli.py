@@ -49,6 +49,7 @@ def _emit(lines: list[str], out: str | None) -> None:
 
 def _mvc_common(domain, base, boundary, order, ranks, label):
     from .core.mesh import build_mesh
+    from .kernels import resolve_backend_name
     from .parallel import (
         FRONTERA,
         SimComm,
@@ -58,14 +59,14 @@ def _mvc_common(domain, base, boundary, order, ranks, label):
         partition_mesh,
         rank_statistics,
     )
-    from .core.matvec import MapBasedMatVec
+    from .core.matvec import MapBasedMatVec, traversal_matvec
 
     t0 = time.perf_counter()
     mesh = build_mesh(domain, base, boundary, p=order)
     t_mesh = time.perf_counter() - t0
     lines = [
         f"# {label}: base={base} boundary={boundary} order={order} "
-        f"ranks={ranks}",
+        f"ranks={ranks} backend={resolve_backend_name()}",
         f"mesh: {mesh.n_elem} elements, {mesh.n_nodes} DOFs, "
         f"levels {int(mesh.leaves.levels.min())}..{int(mesh.leaves.levels.max())}",
         f"mesh construction: {t_mesh:.3f} s (measured, this machine)",
@@ -80,6 +81,21 @@ def _mvc_common(domain, base, boundary, order, ranks, label):
     serial = MapBasedMatVec(mesh)(u)
     ok = bool(np.allclose(dist, serial, atol=1e-9))
     lines.append(f"distributed MATVEC == serial: {ok}")
+    # serial traversal matvec + assembly so the run artifact carries the
+    # kernel-layer spans the CI perf gate diffs (matvec.*, assembly)
+    from .core.assembly import assemble
+
+    t0 = time.perf_counter()
+    trav = traversal_matvec(mesh, u)
+    t_trav = time.perf_counter() - t0
+    ok_trav = bool(np.allclose(trav, serial, atol=1e-9))
+    lines.append(
+        f"traversal MATVEC == serial: {ok_trav} ({t_trav * 1e3:.2f} ms)"
+    )
+    t0 = time.perf_counter()
+    A = assemble(mesh)
+    t_asm = time.perf_counter() - t0
+    lines.append(f"assembly: {int(A.nnz)} nnz ({t_asm * 1e3:.2f} ms)")
     lines.append(
         f"ghost exchange: {int(comm.counters.total_bytes())} B total, "
         f"max/rank {int(comm.counters.bytes_sent.max())} B"
@@ -103,7 +119,7 @@ def _mvc_common(domain, base, boundary, order, ranks, label):
         f"eta = ghost/owned: mean {layout.eta().mean():.4f}, "
         f"max {layout.eta().max():.4f}"
     )
-    if not ok:
+    if not ok or not ok_trav:
         raise SystemExit("FATAL: distributed MATVEC mismatch")
     return lines
 
@@ -793,6 +809,9 @@ def build_parser() -> argparse.ArgumentParser:
         s.add_argument("--out", default=None)
         s.add_argument("--trace-out", default=None,
                        help="run-artifact path (default trace_<command>.json)")
+        s.add_argument("--backend", default=None,
+                       help="kernel backend (numpy, einsum, numba; "
+                            "default: $REPRO_KERNELS_BACKEND or numpy)")
         s.set_defaults(func=func, trace_name=name)
 
     add_mvc("mvc-channel", "MVCChannel", cmd_mvc_channel,
@@ -859,6 +878,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--out", default=None)
     s.add_argument("--trace-out", default=None,
                    help="run-artifact path (default trace_<command>.json)")
+    s.add_argument("--backend", default=None,
+                   help="kernel backend for all solves (numpy, einsum, "
+                        "numba; default: $REPRO_KERNELS_BACKEND or numpy)")
     s.set_defaults(func=cmd_serve_demo, trace_name="serve-demo")
 
     s = sub.add_parser(
@@ -917,6 +939,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--out", default=None)
     s.add_argument("--trace-out", default=None,
                    help="run-artifact path (default trace_<command>.json)")
+    s.add_argument("--backend", default=None,
+                   help="kernel backend for all solves (numpy, einsum, "
+                        "numba; default: $REPRO_KERNELS_BACKEND or numpy)")
     s.set_defaults(func=cmd_fleet_demo, trace_name="fleet-demo")
 
     s = sub.add_parser(
@@ -1018,6 +1043,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        from .kernels import UnknownBackend, set_default_backend
+
+        try:
+            set_default_backend(args.backend)
+        except UnknownBackend as exc:
+            raise SystemExit(f"--backend: {exc}") from None
     tracing = obs.is_enabled() and getattr(args, "trace_name", None)
     if tracing:
         obs.reset()

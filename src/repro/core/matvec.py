@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import api as kernels
 from ..obs import span
 from .mesh import IncompleteMesh
 from .octant import max_level
@@ -72,14 +73,23 @@ class MapBasedMatVec:
             raise ValueError(f"unknown kind {kind!r}")
         self._gather = self.ctx.gather
         self._scatter = self.ctx.scatter
-        self._flops = mesh.n_elem * self.ref.matvec_flops_per_element()
+        # FLOPs of the path as executed: CSR gather (2·nnz) + batched
+        # dense elemental apply + CSR scatter (2·nnz) — not the
+        # historical per-element-only count, so roofline attribution
+        # matches the identity-block batched code that actually runs
+        self._flops = (
+            4 * self._gather.nnz
+            + mesh.n_elem * self.ref.matvec_flops_per_element()
+        )
 
     def __call__(self, u: np.ndarray) -> np.ndarray:
         npe = self.mesh.npe
         with span("matvec.apply", merge=True) as sp:
-            u_loc = (self._gather @ u).reshape(self.mesh.n_elem, npe)
+            u_loc = kernels.gather(self._gather, u).reshape(
+                self.mesh.n_elem, npe
+            )
             w_loc = self._apply_loc(u_loc, self.h)
-            out = self._scatter @ w_loc.reshape(-1)
+            out = kernels.scatter(self._scatter, w_loc.reshape(-1))
             sp.add("elements", self.mesh.n_elem)
             sp.add("flops", self._flops)
         return out
@@ -94,12 +104,23 @@ class MapBasedMatVec:
         return np.float64
 
     def flops(self) -> int:
-        """Elemental double-precision FLOPs of one full MATVEC."""
+        """Double-precision FLOPs of one full MATVEC as executed:
+        sparse gather + batched elemental apply + sparse scatter."""
         return self._flops
 
     def traffic_bytes(self) -> int:
-        """Modelled bytes moved by the elemental phase of one MATVEC."""
-        return self.mesh.n_elem * self.ref.matvec_bytes_per_element()
+        """Modelled bytes moved by one MATVEC as executed: the
+        gather/scatter CSR arrays (data + indices + indptr, read once
+        each) plus the vector traffic (global input/output, the
+        element-local temporaries, and the per-element h scale)."""
+        g = self._gather
+        csr = 2 * (g.data.nbytes + g.indices.nbytes + g.indptr.nbytes)
+        vec = 8 * (
+            2 * self.mesh.n_nodes
+            + 2 * self.mesh.n_elem * self.ref.npe
+            + self.mesh.n_elem
+        )
+        return csr + vec
 
 
 def traversal_matvec(
@@ -117,6 +138,11 @@ def traversal_matvec(
 
     The top-down / leaf / bottom-up phase breakdown is published as
     merge spans under a ``matvec.traversal`` span when tracing is on.
+
+    Backends with a *flat* traversal (einsum, numba — see
+    :mod:`repro.kernels`) execute the same slot table without the tree
+    recursion; the default numpy backend runs the recursive reference
+    walk below, bit-identical to the pre-kernel-layer code.
     """
     ctx = operator_context(mesh)
     if plan is None:
@@ -132,9 +158,16 @@ def traversal_matvec(
     dim = mesh.dim
     m = max_level(dim)
     p = mesh.p
+    e_lo, e_hi = owned_range if owned_range is not None else (0, mesh.n_elem)
+
+    flat = kernels.traversal_apply(
+        plan, np.asarray(u, float), ker, pw, e_lo, e_hi
+    )
+    if flat is not None:
+        return flat
+
     out = np.zeros_like(u)
     two_p = 2 * p
-    e_lo, e_hi = owned_range if owned_range is not None else (0, mesh.n_elem)
 
     coords = plan.coords
     keys, levels, h = plan.keys, plan.levels, plan.h

@@ -20,6 +20,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..kernels import api as kernels
 from .basis import LagrangeBasis
 from .quadrature import tensor_rule
 
@@ -55,15 +56,17 @@ class ReferenceElement:
         self.D_ref = np.einsum("q,qik,qjl->klij", w, self.G, self.G)
 
     # -- batched matrix-free applications ------------------------------
+    # routed through the repro.kernels facade so MapBasedMatVec, the
+    # distributed MATVEC and the fem operators all honour the active
+    # backend (the default numpy backend evaluates the exact historical
+    # expressions, bit-identically)
 
     def apply_stiffness(self, u_loc: np.ndarray, h: np.ndarray) -> np.ndarray:
         """K_e u_e for all elements. ``u_loc`` is ``(n_elem, npe)``."""
-        scale = h ** (self.dim - 2)
-        return (u_loc @ self.K_ref.T) * scale[:, None]
+        return kernels.elem_apply(u_loc, self.K_ref, h ** (self.dim - 2))
 
     def apply_mass(self, u_loc: np.ndarray, h: np.ndarray) -> np.ndarray:
-        scale = h**self.dim
-        return (u_loc @ self.M_ref.T) * scale[:, None]
+        return kernels.elem_apply(u_loc, self.M_ref, h**self.dim)
 
     def apply_advection(
         self, u_loc: np.ndarray, h: np.ndarray, vel: np.ndarray
@@ -72,7 +75,7 @@ class ReferenceElement:
         scale = h ** (self.dim - 1)
         out = np.zeros_like(u_loc)
         for k in range(self.dim):
-            out += (u_loc @ self.C_ref[k].T) * vel[:, k][:, None]
+            out += kernels.elem_apply(u_loc, self.C_ref[k], vel[:, k])
         return out * scale[:, None]
 
     def stiffness_blocks(self, h: np.ndarray) -> np.ndarray:

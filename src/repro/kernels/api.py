@@ -1,0 +1,178 @@
+"""Instrumented ops facade — the single entry point to kernel backends.
+
+Call sites (:mod:`repro.core.matvec`, :mod:`repro.core.assembly`,
+:mod:`repro.fem.elemental`, :mod:`repro.parallel.dist_matvec`,
+:mod:`repro.solvers.krylov`) invoke these functions instead of inlining
+numpy expressions; each call dispatches to the active backend (see
+:mod:`repro.kernels.registry` for the selection precedence) and — when
+:mod:`repro.obs` tracing is enabled — publishes achieved-work counters::
+
+    kernels.calls{backend="einsum",kernel="elem_apply"}
+    kernels.flops{...}     # modelled double-precision FLOPs executed
+    kernels.bytes{...}     # modelled bytes moved
+    kernels.seconds{...}   # measured wall time
+
+:func:`repro.analysis.roofline.measured_kernel_points` turns these four
+counters into measured arithmetic intensity and fraction-of-peak per
+kernel per backend, from a live registry or any ``run.v1``/``bench.v1``
+artifact.  With tracing disabled every facade call costs one attribute
+check on top of the op itself.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..obs.counters import REGISTRY
+from ..obs.trace import TRACER, span
+from .registry import get_backend
+
+__all__ = [
+    "gather",
+    "scatter",
+    "elem_apply",
+    "dot",
+    "axpy",
+    "traversal_apply",
+    "assemble",
+]
+
+
+def _publish(kernel: str, backend: str, flops: float, nbytes: float,
+             seconds: float) -> None:
+    REGISTRY.add("kernels.calls", 1, kernel=kernel, backend=backend)
+    REGISTRY.add("kernels.flops", float(flops), kernel=kernel, backend=backend)
+    REGISTRY.add("kernels.bytes", float(nbytes), kernel=kernel, backend=backend)
+    REGISTRY.add("kernels.seconds", float(seconds), kernel=kernel,
+                 backend=backend)
+
+
+def _csr_traffic(A: sp.csr_matrix, x: np.ndarray, out_rows: int) -> float:
+    """Bytes touched by one CSR product: matrix arrays + both vectors."""
+    ncols = x.shape[1] if getattr(x, "ndim", 1) == 2 else 1
+    return (
+        A.data.nbytes + A.indices.nbytes + A.indptr.nbytes
+        + getattr(x, "nbytes", 8 * A.shape[1] * ncols)
+        + 8.0 * out_rows * ncols
+    )
+
+
+def gather(G: sp.csr_matrix, u: np.ndarray, backend: str | None = None):
+    """Hanging-aware element gather ``G @ u`` through the active backend."""
+    be = get_backend(backend)
+    if not TRACER.enabled:
+        return be.gather(G, u)
+    t0 = perf_counter()
+    out = be.gather(G, u)
+    dt = perf_counter() - t0
+    ncols = u.shape[1] if getattr(u, "ndim", 1) == 2 else 1
+    _publish("gather", be.name, 2.0 * G.nnz * ncols,
+             _csr_traffic(G, u, G.shape[0]), dt)
+    return out
+
+
+def scatter(S: sp.csr_matrix, w: np.ndarray, backend: str | None = None):
+    """Bottom-up accumulation ``S @ w`` through the active backend."""
+    be = get_backend(backend)
+    if not TRACER.enabled:
+        return be.scatter(S, w)
+    t0 = perf_counter()
+    out = be.scatter(S, w)
+    dt = perf_counter() - t0
+    ncols = w.shape[1] if getattr(w, "ndim", 1) == 2 else 1
+    _publish("scatter", be.name, 2.0 * S.nnz * ncols,
+             _csr_traffic(S, w, S.shape[0]), dt)
+    return out
+
+
+def elem_apply(u_loc: np.ndarray, M: np.ndarray, scale: np.ndarray,
+               backend: str | None = None) -> np.ndarray:
+    """Batched elemental apply ``(u_loc @ M.T) * scale[:, None]``."""
+    be = get_backend(backend)
+    if not TRACER.enabled:
+        return be.elem_apply(u_loc, M, scale)
+    t0 = perf_counter()
+    out = be.elem_apply(u_loc, M, scale)
+    dt = perf_counter() - t0
+    ne, npe_in = u_loc.shape
+    npe_out = M.shape[0]
+    _publish(
+        "elem_apply", be.name,
+        2.0 * ne * npe_out * npe_in + ne * npe_out,
+        u_loc.nbytes + scale.nbytes + 8.0 * ne * npe_out, dt,
+    )
+    return out
+
+
+def dot(x: np.ndarray, y: np.ndarray, backend: str | None = None) -> float:
+    """Krylov inner product ⟨x, y⟩."""
+    be = get_backend(backend)
+    if not TRACER.enabled:
+        return be.dot(x, y)
+    t0 = perf_counter()
+    out = be.dot(x, y)
+    dt = perf_counter() - t0
+    _publish("dot", be.name, 2.0 * len(x), 16.0 * len(x), dt)
+    return out
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray,
+         backend: str | None = None) -> np.ndarray:
+    """In-place ``y += alpha * x``; returns ``y``."""
+    be = get_backend(backend)
+    if not TRACER.enabled:
+        return be.axpy(alpha, x, y)
+    t0 = perf_counter()
+    out = be.axpy(alpha, x, y)
+    dt = perf_counter() - t0
+    _publish("axpy", be.name, 2.0 * len(x), 24.0 * len(x), dt)
+    return out
+
+
+def traversal_apply(plan, u: np.ndarray, ker: np.ndarray, pw: int,
+                    e_lo: int, e_hi: int,
+                    backend: str | None = None) -> np.ndarray | None:
+    """Flat traversal MATVEC, or ``None`` when the active backend has
+    no flat path (the caller then runs the recursive reference walk,
+    keeping the default backend bit-identical to the historical code).
+    """
+    be = get_backend(backend)
+    if not be.flat_traversal:
+        return None
+    if not TRACER.enabled:
+        return be.traversal_matvec(plan, u, ker, pw, e_lo, e_hi)
+    with span("matvec.traversal", backend=be.name) as osp:
+        t0 = perf_counter()
+        out = be.traversal_matvec(plan, u, ker, pw, e_lo, e_hi)
+        dt = perf_counter() - t0
+        osp.add("elements", e_hi - e_lo)
+    npe = ker.shape[0]
+    n_el = e_hi - e_lo
+    nnz = float(plan.slot_ptr[e_hi] - plan.slot_ptr[e_lo])
+    _publish(
+        "traversal", be.name,
+        n_el * (2.0 * npe * npe + npe) + 4.0 * nnz,
+        32.0 * nnz + 16.0 * n_el * npe + 16.0 * len(u), dt,
+    )
+    return out
+
+
+def assemble(ctx, blocks: np.ndarray,
+             backend: str | None = None) -> sp.csr_matrix:
+    """Global sparse assembly ``Σ_e P_eᵀ K_e P_e`` through the backend."""
+    be = get_backend(backend)
+    if not TRACER.enabled:
+        return be.assemble(ctx, blocks)
+    t0 = perf_counter()
+    A = be.assemble(ctx, blocks)
+    dt = perf_counter() - t0
+    ne, npe, _ = blocks.shape
+    g = ctx.gather
+    _publish(
+        "assemble", be.name, 2.0 * ne * npe * npe,
+        blocks.nbytes + g.data.nbytes + g.indices.nbytes + 12.0 * A.nnz, dt,
+    )
+    return A

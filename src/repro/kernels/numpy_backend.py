@@ -1,0 +1,83 @@
+"""Reference numpy backend — bit-identical to the historical hot paths.
+
+Every op here is the exact expression the call sites inlined before the
+kernel layer existed, so routing through this backend changes no bits:
+CSR gather/scatter are ``scipy.sparse`` products, the batched elemental
+apply is one dense matmul plus a column scale, dot/axpy are the plain
+BLAS-backed numpy expressions, and assembly is the BSR triple product.
+
+``traversal_matvec`` returns ``None``: this backend has no flat
+traversal, which tells :func:`repro.core.matvec.traversal_matvec` to
+run its recursive reference implementation (keeping trace spans and
+results bit-identical to the pre-kernel-layer code).
+
+Other backends subclass this and override only the ops they speed up,
+so every backend is complete by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["NumpyKernels"]
+
+
+class NumpyKernels:
+    """Baseline kernel set; the contract every backend implements."""
+
+    name = "numpy"
+    available = True
+    unavailable_reason = ""
+    #: True when :meth:`traversal_matvec` implements the flat
+    #: (non-recursive) traversal; False routes the caller to the
+    #: recursive reference path.
+    flat_traversal = False
+
+    # -- sparse gather / scatter ----------------------------------------
+
+    def gather(self, G: sp.csr_matrix, u: np.ndarray) -> np.ndarray:
+        """Element-local slot vector ``G @ u`` (hanging-aware gather)."""
+        return G @ u
+
+    def scatter(self, S: sp.csr_matrix, w: np.ndarray) -> np.ndarray:
+        """Bottom-up accumulation ``S @ w`` (S is gatherᵀ in CSR)."""
+        return S @ w
+
+    # -- batched elemental apply ----------------------------------------
+
+    def elem_apply(
+        self, u_loc: np.ndarray, M: np.ndarray, scale: np.ndarray
+    ) -> np.ndarray:
+        """``(u_loc @ M.T) * scale[:, None]`` for all elements at once."""
+        return (u_loc @ M.T) * scale[:, None]
+
+    # -- Krylov vector ops ------------------------------------------------
+
+    def dot(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(x @ y)
+
+    def axpy(self, alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """In-place ``y += alpha * x``; returns ``y``."""
+        y += alpha * x
+        return y
+
+    # -- traversal MATVEC -------------------------------------------------
+
+    def traversal_matvec(self, plan, u, ker, pw, e_lo, e_hi):
+        """No flat traversal: defer to the recursive reference path."""
+        return None
+
+    # -- global assembly ---------------------------------------------------
+
+    def assemble(self, ctx, blocks: np.ndarray) -> sp.csr_matrix:
+        """``gatherᵀ · blockdiag(K_e) · gather`` via one BSR product."""
+        n_elem, npe, _ = blocks.shape
+        B = sp.bsr_matrix(
+            (blocks, np.arange(n_elem), np.arange(n_elem + 1)),
+            shape=(n_elem * npe, n_elem * npe),
+        )
+        g = ctx.gather
+        A = (g.T @ (B @ g)).tocsr()
+        A.sum_duplicates()
+        return A

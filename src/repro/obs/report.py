@@ -37,6 +37,7 @@ __all__ = [
     "write_artifact",
     "load_artifact",
     "validate_artifact",
+    "canonical_metrics",
     "canonical_spans",
     "summary",
     "render_report",
@@ -217,6 +218,29 @@ def canonical_spans(doc_or_spans) -> list[dict]:
         return out
 
     return [strip(s) for s in spans]
+
+
+def canonical_metrics(doc_or_metrics) -> dict:
+    """Timing-free canonical form of the flat metrics dump: wall-clock
+    counters (base name ending in ``.seconds``, e.g. the kernel layer's
+    ``kernels.seconds{...}``) are dropped, mirroring how
+    :func:`canonical_spans` strips span clock fields."""
+    metrics = (
+        doc_or_metrics.get("metrics", doc_or_metrics)
+        if isinstance(doc_or_metrics, dict)
+        else doc_or_metrics
+    )
+    out: dict = {}
+    for grp, vals in metrics.items():
+        if not isinstance(vals, dict):
+            out[grp] = vals
+            continue
+        out[grp] = {
+            k: v
+            for k, v in vals.items()
+            if not k.split("{", 1)[0].endswith(".seconds")
+        }
+    return out
 
 
 def summary() -> dict:

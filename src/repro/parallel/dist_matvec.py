@@ -52,7 +52,6 @@ def distributed_matvec(
         apply_loc = ref_el.apply_mass
     else:
         raise ValueError(f"unknown kind {kind!r}")
-    npe = plan.npe
     h = plan.h
     splits = layout.splits
     nranks = comm.size
@@ -89,13 +88,13 @@ def distributed_matvec(
                     payload = pre.get(key)
                     if payload is not None:
                         u_loc_vec[plan.ghost_pos[key]] = payload
-                u_elem = (plan.g_loc[r] @ u_loc_vec).reshape(hi - lo, npe)
+                u_elem = plan.gather_rank(r, u_loc_vec)
                 tsp.add("local_nodes", len(ref))
             with span("matvec.leaf") as lsp:
                 w_elem = apply_loc(u_elem, h[lo:hi])
                 lsp.add("elements", hi - lo)
             with span("matvec.bottom_up") as bsp:
-                contrib = plan.g_loc_T[r] @ w_elem.reshape(-1)
+                contrib = plan.scatter_rank(r, w_elem)
                 # owned contributions accumulate locally ...
                 out[plan.owned_ids[r]] += contrib[mine]
                 # ... ghost contributions return to their owners

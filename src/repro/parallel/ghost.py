@@ -228,6 +228,23 @@ class ExchangePlan:
             shape=(g_r.shape[0], len(ref)),
         )
 
+    def gather_rank(self, r: int, u_loc_vec: np.ndarray) -> np.ndarray:
+        """Rank ``r``'s element gather through the active kernel backend:
+        local ghosted vector → ``(n_owned_elem, npe)`` slot matrix."""
+        from ..kernels import api as kernels
+
+        lo, hi = self.layout.splits[r], self.layout.splits[r + 1]
+        return kernels.gather(self.g_loc[r], u_loc_vec).reshape(
+            hi - lo, self.npe
+        )
+
+    def scatter_rank(self, r: int, w_elem: np.ndarray) -> np.ndarray:
+        """Rank ``r``'s bottom-up accumulation through the active kernel
+        backend: elemental results → rank-local node contributions."""
+        from ..kernels import api as kernels
+
+        return kernels.scatter(self.g_loc_T[r], w_elem.reshape(-1))
+
     def nbytes(self) -> int:
         """Resident bytes of the plan's index/operator arrays — the
         memory price of persisting the exchange plan, reported by the

@@ -150,6 +150,8 @@ class SolveRequest:
     # amr-only parameters (see repro.amr.loop.amr_solve)
     amr_cycles: int = 4
     amr_theta: float = 0.5
+    #: kernel backend override (repro.kernels); None = server default
+    backend: str | None = None
 
     def validate(self) -> None:
         if self.pde not in PDE_KINDS:
@@ -175,6 +177,20 @@ class SolveRequest:
                 raise ValueError("amr_cycles must be non-negative")
             if not (0.0 < self.amr_theta <= 1.0):
                 raise ValueError("amr_theta must be in (0, 1]")
+        if self.backend is not None:
+            from ..kernels import available_backends
+
+            avail = available_backends()
+            if self.backend not in avail:
+                raise ValueError(
+                    f"unknown kernel backend {self.backend!r}; "
+                    f"known: {sorted(avail)}"
+                )
+            if not avail[self.backend]:
+                raise ValueError(
+                    f"kernel backend {self.backend!r} is not available "
+                    "on this server"
+                )
 
     # -- canonical documents and digests --------------------------------
 
@@ -182,6 +198,9 @@ class SolveRequest:
         doc = {"schema": REQ_SCHEMA_ID}
         for fld in fields(self):
             v = getattr(self, fld.name)
+            if fld.name == "backend" and v is None:
+                # omitted so pre-backend request digests are unchanged
+                continue
             if fld.name == "geometry":
                 v = canonical_geometry(v)
             elif fld.name == "velocity":
@@ -241,6 +260,11 @@ class SolveRequest:
         elif self.pde == "amr":
             doc["amr_cycles"] = self.amr_cycles
             doc["amr_theta"] = float(self.amr_theta)
+        if self.backend is not None:
+            # different kernel backends must not share a solve batch:
+            # cross-backend results are only tolerance-equal, and one
+            # batch executes under a single use_backend() scope
+            doc["backend"] = self.backend
         return doc
 
     @property

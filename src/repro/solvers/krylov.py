@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 import scipy.sparse as sp
 
+from ..kernels import api as kernels
 from ..obs import span
 
 __all__ = ["KrylovResult", "cg", "bicgstab"]
@@ -213,7 +214,7 @@ def cg(
         nmv = 1
         z = M(r) if M else r
         p = z.copy()
-        rz = float(r @ z)
+        rz = kernels.dot(r, z)
         bnorm = float(np.linalg.norm(b)) or 1.0
         tol = max(rtol * bnorm, atol)
         rnorm = float(np.linalg.norm(r))
@@ -224,7 +225,7 @@ def cg(
             with span("solver.iteration", merge=True) as isp:
                 Ap = op(p)
                 nmv += 1
-                pAp = float(p @ Ap)
+                pAp = kernels.dot(p, Ap)
                 if not np.isfinite(pAp):
                     fail = "nonfinite"
                     break
@@ -232,8 +233,8 @@ def cg(
                     fail = "breakdown"
                     break
                 alpha = rz / pAp
-                x += alpha * p
-                r -= alpha * Ap
+                kernels.axpy(alpha, p, x)
+                kernels.axpy(-alpha, Ap, r)
                 rnorm = float(np.linalg.norm(r))
                 isp.add("matvecs", 1)
             it += 1
@@ -246,7 +247,7 @@ def cg(
             if rnorm <= tol:
                 break
             z = M(r) if M else r
-            rz_new = float(r @ z)
+            rz_new = kernels.dot(r, z)
             p = z + (rz_new / rz) * p
             rz = rz_new
         reason = fail or ("converged" if rnorm <= tol else "maxiter")
@@ -292,7 +293,7 @@ def bicgstab(
         fail: str | None = None if np.isfinite(rnorm) else "nonfinite"
         while fail is None and rnorm > tol and it < maxiter:
             with span("solver.iteration", merge=True) as isp:
-                rho_new = float(r_hat @ r)
+                rho_new = kernels.dot(r_hat, r)
                 if not np.isfinite(rho_new):
                     fail = "nonfinite"
                     break
@@ -308,7 +309,7 @@ def bicgstab(
                 v = op(phat)
                 nmv += 1
                 isp.add("matvecs", 1)
-                denom = float(r_hat @ v)
+                denom = kernels.dot(r_hat, v)
                 if not np.isfinite(denom):
                     fail = "nonfinite"
                     break
@@ -330,8 +331,8 @@ def bicgstab(
                 t = op(shat)
                 nmv += 1
                 isp.add("matvecs", 1)
-                tt = float(t @ t)
-                omega = float(t @ s) / tt if tt > 0 else 0.0
+                tt = kernels.dot(t, t)
+                omega = kernels.dot(t, s) / tt if tt > 0 else 0.0
                 x += alpha * phat + omega * shat
                 r = s - omega * t
                 rho = rho_new
